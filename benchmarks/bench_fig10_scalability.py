@@ -1,0 +1,97 @@
+"""Fig. 10 — scalability with video duration.
+
+Measures total execution time (processing + indexing + all queries) and
+user-perceived query search time for VOCAL, MIRIS, FiGO, and LOVO as the
+input video dataset grows, reproducing Fig. 10's scalability comparison.  The
+paper's headline: LOVO's search time is almost flat in dataset size while the
+QD-search systems grow linearly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro import LOVO
+from repro.baselines import FiGOBaseline, MIRISBaseline, VOCALBaseline
+from repro.errors import UnsupportedQueryError
+from repro.eval.reporting import format_table
+from repro.eval.workloads import queries_for_dataset
+
+from conftest import BENCH_ENCODER, bench_lovo_config, report
+
+#: Dataset sizes (frames) for the sweep; the paper sweeps video duration.
+SWEEP_FRAMES = [150, 300, 600, 900]
+QUERIES = [spec.text for spec in queries_for_dataset("bellevue")[:2]]
+
+
+def build_system(name: str):
+    if name == "LOVO":
+        return LOVO(bench_lovo_config())
+    if name == "VOCAL":
+        return VOCALBaseline(BENCH_ENCODER)
+    if name == "MIRIS":
+        return MIRISBaseline(BENCH_ENCODER)
+    return FiGOBaseline(BENCH_ENCODER)
+
+
+def run_scalability(bench_env) -> Dict[str, List[Dict[str, float]]]:
+    base = bench_env.dataset("bellevue", num_videos=3, frames_per_video=300)
+    results: Dict[str, List[Dict[str, float]]] = {}
+    for system_name in ["VOCAL", "MIRIS", "FiGO", "LOVO"]:
+        series = []
+        for num_frames in SWEEP_FRAMES:
+            dataset = base.subset(num_frames)
+            system = build_system(system_name)
+            start = time.perf_counter()
+            system.ingest(dataset)
+            ingest_seconds = time.perf_counter() - start
+
+            search_seconds = 0.0
+            for query in QUERIES:
+                query_start = time.perf_counter()
+                try:
+                    response = system.query(query)
+                    search_seconds += response.search_seconds
+                except UnsupportedQueryError:
+                    search_seconds += time.perf_counter() - query_start
+            series.append({
+                "frames": num_frames,
+                "total": ingest_seconds + search_seconds,
+                "search": search_seconds / len(QUERIES),
+            })
+        results[system_name] = series
+    return results
+
+
+def test_fig10_scalability(benchmark, bench_env):
+    results = benchmark.pedantic(run_scalability, args=(bench_env,), rounds=1, iterations=1)
+
+    rows = []
+    for system_name, series in results.items():
+        for point in series:
+            rows.append([
+                system_name, point["frames"], f"{point['total']:.3f}", f"{point['search']:.4f}"
+            ])
+    table = format_table(
+        ["system", "frames", "total time (s)", "mean search time (s)"],
+        rows,
+        title="Fig. 10: total execution time and query search time vs dataset size",
+    )
+    report("fig10_scalability", table)
+
+    # Shape assertions: QD-search query time grows with dataset size, while
+    # LOVO's stays nearly flat and far below the QD-search systems at the
+    # largest size.
+    largest = SWEEP_FRAMES[-1]
+    smallest = SWEEP_FRAMES[0]
+    for name in ("MIRIS", "FiGO"):
+        series = {point["frames"]: point for point in results[name]}
+        assert series[largest]["search"] > series[smallest]["search"] * 2
+    lovo = {point["frames"]: point for point in results["LOVO"]}
+    figo = {point["frames"]: point for point in results["FiGO"]}
+    assert lovo[largest]["search"] < figo[largest]["search"]
+    # LOVO search grows sub-linearly in dataset size (its rerank cost is
+    # bounded by max_candidate_frames and therefore saturates).
+    data_growth = largest / smallest
+    assert lovo[largest]["search"] < lovo[smallest]["search"] * data_growth

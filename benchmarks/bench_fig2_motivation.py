@@ -1,0 +1,65 @@
+"""Fig. 2 — motivation: runtime and capability of existing method families.
+
+Reproduces the motivation experiment of §II: a QA-index method (VOCAL), a
+QD-search method (MIRIS), a hybrid of the two, and a vision-based method
+(ZELDA) are given queries of three complexity levels (simple / normal /
+complex) on a Bellevue-like scene.  The benchmark reports per-query execution
+time and whether each method supports each complexity level (QA-index methods
+cannot express attribute or relational queries).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import UnsupportedQueryError
+from repro.eval.reporting import format_table
+from repro.eval.workloads import motivation_queries
+
+from conftest import report
+
+SYSTEMS = ["VOCAL", "MIRIS", "Hybrid", "ZELDA"]
+FAMILY = {"VOCAL": "QA-index", "MIRIS": "QD-search", "Hybrid": "Hybrid", "ZELDA": "Vision-based"}
+
+
+def run_motivation(bench_env):
+    """Execute every complexity level against every method family."""
+    rows = []
+    per_family_latency = {}
+    for system_name in SYSTEMS:
+        system, _ingest = bench_env.system(system_name, "bellevue")
+        for complexity, queries in motivation_queries().items():
+            elapsed_total = 0.0
+            supported = True
+            for query in queries:
+                start = time.perf_counter()
+                try:
+                    system.query(query)
+                except UnsupportedQueryError:
+                    supported = False
+                elapsed_total += time.perf_counter() - start
+            mean_elapsed = elapsed_total / len(queries)
+            per_family_latency[(FAMILY[system_name], complexity)] = mean_elapsed
+            rows.append([
+                FAMILY[system_name],
+                complexity,
+                "yes" if supported else "unsupported",
+                f"{mean_elapsed:.3f}",
+            ])
+    return rows, per_family_latency
+
+
+def test_fig2_motivation(benchmark, bench_env):
+    rows, latency = benchmark.pedantic(run_motivation, args=(bench_env,), rounds=1, iterations=1)
+    table = format_table(
+        ["method family", "query complexity", "supported", "mean runtime (s)"],
+        rows,
+        title="Fig. 2(a)/(b): execution time and capability per query complexity",
+    )
+    report("fig2_motivation", table)
+
+    # Shape assertions from the paper: the QA-index family is fast but cannot
+    # express complex queries, while QD-search pays a full scan per query.
+    assert latency[("QA-index", "simple")] < latency[("QD-search", "simple")]
+    unsupported = [row for row in rows if row[0] == "QA-index" and row[1] == "complex"]
+    assert unsupported[0][2] == "unsupported"

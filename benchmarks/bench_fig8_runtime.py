@@ -1,0 +1,78 @@
+"""Fig. 8 — runtime comparison of MIRIS, FiGO, and LOVO on every dataset.
+
+For each of the four datasets the benchmark measures, per query, the search
+time (what the user waits for) and the total execution time (search plus the
+per-query or amortised processing), then prints the acceleration factors
+relative to the slowest system — the same presentation as Fig. 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.eval.reporting import format_table, speedup_factors
+from repro.eval.runner import run_queries
+from repro.eval.workloads import queries_for_dataset
+
+from conftest import report
+
+SYSTEMS = ["MIRIS", "FiGO", "LOVO"]
+DATASETS = ["cityscapes", "bellevue", "qvhighlights", "beach"]
+
+
+def run_runtime_comparison(bench_env) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per dataset and system: mean search seconds and mean total seconds."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for dataset_name in DATASETS:
+        dataset = bench_env.dataset(dataset_name)
+        specs = queries_for_dataset(dataset_name)
+        cache: Dict[str, list] = {}
+        results[dataset_name] = {}
+        for system_name in SYSTEMS:
+            system, ingest_seconds = bench_env.system(system_name, dataset_name)
+            records = run_queries(
+                system, system_name, dataset, specs,
+                ingest_seconds=ingest_seconds / max(len(specs), 1),
+                ground_truth_cache=cache,
+            )
+            mean_search = sum(r.search_seconds for r in records) / len(records)
+            mean_total = sum(r.total_seconds for r in records) / len(records)
+            results[dataset_name][system_name] = {
+                "search": mean_search,
+                "total": mean_total,
+            }
+    return results
+
+
+def test_fig8_runtime(benchmark, bench_env):
+    results = benchmark.pedantic(run_runtime_comparison, args=(bench_env,), rounds=1, iterations=1)
+
+    rows = []
+    for dataset_name, per_system in results.items():
+        search_factors = speedup_factors({name: v["search"] for name, v in per_system.items()})
+        total_factors = speedup_factors({name: v["total"] for name, v in per_system.items()})
+        for system_name in SYSTEMS:
+            rows.append([
+                dataset_name,
+                system_name,
+                f"{per_system[system_name]['search']:.3f}",
+                f"{search_factors[system_name]:.1f}x",
+                f"{per_system[system_name]['total']:.3f}",
+                f"{total_factors[system_name]:.1f}x",
+            ])
+    table = format_table(
+        ["dataset", "system", "search (s)", "search speedup", "total (s)", "total speedup"],
+        rows,
+        title="Fig. 8: per-query search and total runtime (speedups vs slowest)",
+    )
+    report("fig8_runtime", table)
+
+    # Shape assertions from the paper: LOVO's search is the fastest on every
+    # dataset, FiGO's search is the slowest, and LOVO beats both QD-search
+    # systems on total time as well.
+    for dataset_name, per_system in results.items():
+        assert per_system["LOVO"]["search"] < per_system["MIRIS"]["search"]
+        assert per_system["LOVO"]["search"] < per_system["FiGO"]["search"]
+        assert per_system["FiGO"]["search"] > per_system["MIRIS"]["search"]
+        assert per_system["LOVO"]["total"] < per_system["MIRIS"]["total"]
+        assert per_system["LOVO"]["total"] < per_system["FiGO"]["total"]

@@ -1,0 +1,61 @@
+"""Fig. 9 — distribution of LOVO's execution time across its phases.
+
+Splits LOVO's total execution time on each dataset into video processing,
+cross-modality rerank, and indexing + fast search, as Fig. 9 does.  A fresh
+LOVO instance is used per dataset so the breakdown reflects exactly one
+ingestion plus that dataset's Table II queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import LOVO
+from repro.eval.reporting import format_table
+from repro.eval.workloads import queries_for_dataset
+
+from conftest import bench_lovo_config, report
+
+DATASETS = ["cityscapes", "bellevue", "qvhighlights", "beach"]
+
+
+def run_time_distribution(bench_env) -> Dict[str, Dict[str, float]]:
+    distributions: Dict[str, Dict[str, float]] = {}
+    for dataset_name in DATASETS:
+        system = LOVO(bench_lovo_config())
+        system.ingest(bench_env.dataset(dataset_name))
+        for spec in queries_for_dataset(dataset_name):
+            system.query(spec.text)
+        distributions[dataset_name] = system.time_distribution()
+    return distributions
+
+
+def test_fig9_time_distribution(benchmark, bench_env):
+    distributions = benchmark.pedantic(
+        run_time_distribution, args=(bench_env,), rounds=1, iterations=1
+    )
+    rows = []
+    for dataset_name, phases in distributions.items():
+        total = sum(phases.values())
+        rows.append([
+            dataset_name,
+            f"{phases['processing']:.3f}",
+            f"{phases['rerank']:.3f}",
+            f"{phases['indexing_fast_search']:.3f}",
+            f"{100 * phases['processing'] / total:.1f}%",
+        ])
+    table = format_table(
+        ["dataset", "processing (s)", "rerank (s)", "indexing + fast search (s)",
+         "processing share"],
+        rows,
+        title="Fig. 9: LOVO execution-time distribution per dataset",
+    )
+    report("fig9_time_distribution", table)
+
+    # Shape assertions from the paper: indexing + fast search is by far the
+    # smallest share, rerank is the dominant *query-time* cost, and the
+    # one-time (offline) processing carries a substantial share of the total.
+    for phases in distributions.values():
+        assert phases["indexing_fast_search"] < phases["rerank"]
+        assert phases["indexing_fast_search"] < phases["processing"]
+        assert phases["processing"] > 0.3 * max(phases.values())

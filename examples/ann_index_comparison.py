@@ -1,0 +1,47 @@
+"""Compare ANN index variants (brute force, IVF-PQ, HNSW) inside LOVO.
+
+The vector-database layer is pluggable (paper Table V): this example indexes
+the same dataset three times with different index families and reports the
+accuracy/latency trade-off on the Cityscapes queries, plus the raw index
+behaviour on the stored vectors themselves.
+
+Run with:  python examples/ann_index_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import LOVO, LOVOConfig
+from repro.config import IndexConfig
+from repro.eval import build_ground_truth, evaluate_results, queries_for_dataset
+from repro.video import make_cityscapes
+
+
+def main() -> None:
+    dataset = make_cityscapes(num_videos=2, frames_per_video=300)
+    specs = queries_for_dataset("cityscapes")
+
+    print(f"{'index':8s} {'ingest (s)':>10s} {'mean AveP':>10s} {'mean search (s)':>16s}")
+    for index_type in ("flat", "ivfpq", "hnsw"):
+        config = LOVOConfig().with_overrides(index=IndexConfig(index_type=index_type))
+        system = LOVO(config)
+        start = time.perf_counter()
+        system.ingest(dataset)
+        ingest_seconds = time.perf_counter() - start
+
+        aveps, latencies = [], []
+        for spec in specs:
+            ground_truth = build_ground_truth(dataset, spec)
+            if not ground_truth:
+                continue
+            response = system.query(spec.text)
+            aveps.append(evaluate_results(response.results, ground_truth))
+            latencies.append(response.search_seconds)
+        mean_avep = sum(aveps) / len(aveps)
+        mean_latency = sum(latencies) / len(latencies)
+        print(f"{index_type:8s} {ingest_seconds:10.2f} {mean_avep:10.3f} {mean_latency:16.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Open-vocabulary search: queries beyond any detector's label set.
+
+QA-index systems can only answer queries about the classes their detector was
+trained on.  LOVO indexes visual embeddings instead of class labels, so
+queries about unseen class names ("SUV", "lady", "pickup") and detailed
+descriptions still work.  This example runs such queries against both LOVO
+and a VOCAL-style scene-graph index and shows which ones each system can
+answer at all.
+
+Run with:  python examples/open_vocabulary_search.py
+"""
+
+from __future__ import annotations
+
+from repro import LOVO, LOVOConfig
+from repro.baselines import VOCALBaseline
+from repro.errors import UnsupportedQueryError
+from repro.video import make_qvhighlights
+
+
+QUERIES = [
+    "A dog inside a car.",
+    "A red-hair woman with white dress sitting inside a car.",
+    "A lady sitting inside a car next to a white puppy.",
+    "A person talking in the room.",
+]
+
+
+def main() -> None:
+    dataset = make_qvhighlights(num_videos=2, frames_per_video=300)
+
+    lovo = LOVO(LOVOConfig())
+    lovo.ingest(dataset)
+    vocal = VOCALBaseline()
+    vocal.ingest(dataset)
+
+    for text in QUERIES:
+        print(f"\nQuery: {text}")
+        response = lovo.query(text, top_n=3)
+        top = response.top(1)
+        print(f"  LOVO : {len(response.results)} results, best frame {top[0].frame_id if top else 'n/a'} "
+              f"(search {response.search_seconds * 1000:.0f} ms)")
+        try:
+            vocal_response = vocal.query(text, top_n=3)
+            print(f"  VOCAL: {len(vocal_response.results)} results from the pre-built class index")
+        except UnsupportedQueryError as error:
+            print(f"  VOCAL: unsupported — {error}")
+
+
+if __name__ == "__main__":
+    main()

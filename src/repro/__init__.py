@@ -1,0 +1,39 @@
+"""Reproduction of "LOVO: Efficient Complex Object Query in Large-Scale Video Datasets".
+
+Public API overview
+-------------------
+
+* :class:`repro.LOVO` — the full system: one-time ingestion plus two-stage
+  complex object queries.
+* :class:`repro.LOVOConfig` — configuration of the encoders, key-frame
+  extraction, ANN index, and query strategy.
+* :mod:`repro.video` — synthetic stand-ins for the paper's datasets.
+* :mod:`repro.baselines` — VOCAL, MIRIS, FiGO, ZELDA, UMT, and VISA baselines.
+* :mod:`repro.eval` — the query workloads of Table II and the AveP metric.
+"""
+
+from repro.config import (
+    EncoderConfig,
+    IndexConfig,
+    KeyframeConfig,
+    LOVOConfig,
+    QueryConfig,
+)
+from repro.core.results import ObjectQueryResult, QueryResponse
+from repro.core.system import LOVO
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LOVO",
+    "LOVOConfig",
+    "EncoderConfig",
+    "KeyframeConfig",
+    "IndexConfig",
+    "QueryConfig",
+    "QueryResponse",
+    "ObjectQueryResult",
+    "ReproError",
+    "__version__",
+]

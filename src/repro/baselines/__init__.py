@@ -1,0 +1,25 @@
+"""Baseline systems the paper compares against (paper §VII-A)."""
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.detectors import DetectionModel, MSCOCO_CLASSES, model_zoo
+from repro.baselines.figo import FiGOBaseline
+from repro.baselines.hybrid import HybridBaseline
+from repro.baselines.miris import MIRISBaseline
+from repro.baselines.umt import UMTBaseline
+from repro.baselines.visa import VISABaseline
+from repro.baselines.vocal import VOCALBaseline
+from repro.baselines.zelda import ZELDABaseline
+
+__all__ = [
+    "BaselineSystem",
+    "DetectionModel",
+    "MSCOCO_CLASSES",
+    "model_zoo",
+    "VOCALBaseline",
+    "MIRISBaseline",
+    "FiGOBaseline",
+    "ZELDABaseline",
+    "UMTBaseline",
+    "VISABaseline",
+    "HybridBaseline",
+]

@@ -1,0 +1,118 @@
+"""Shared scaffolding for baseline query systems.
+
+Every baseline exposes the same two-call interface as LOVO — ``ingest`` once,
+``query`` per request — and records its phase timings in a
+:class:`~repro.utils.timing.PhaseTimer`, so the evaluation harness treats all
+systems identically.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.config import EncoderConfig
+from repro.core.results import QueryResponse
+from repro.encoders.concepts import ConceptSpace
+from repro.encoders.text import ParsedQuery, QueryParser, TextEncoder
+from repro.errors import QueryError
+from repro.utils.timing import PhaseTimer
+from repro.video.model import Frame, VideoDataset
+
+
+class BaselineSystem(abc.ABC):
+    """Base class for all baselines; subclasses implement the two phases."""
+
+    name: str = "baseline"
+
+    def __init__(self, encoder_config: EncoderConfig | None = None) -> None:
+        self._encoder_config = encoder_config or EncoderConfig()
+        self._space = ConceptSpace(
+            dim=self._encoder_config.embedding_dim, seed=self._encoder_config.seed
+        )
+        self._text_encoder = TextEncoder(
+            self._space, class_embedding_dim=self._encoder_config.class_embedding_dim
+        )
+        self._parser: QueryParser = self._text_encoder.parser
+        self._timer = PhaseTimer()
+        self._dataset: Optional[VideoDataset] = None
+        self._frames: Dict[str, Frame] = {}
+        self._scene_by_video: Dict[str, str] = {}
+
+    @property
+    def timer(self) -> PhaseTimer:
+        """Accumulated phase timings."""
+        return self._timer
+
+    @property
+    def concept_space(self) -> ConceptSpace:
+        """The shared concept space (same pretrained space as LOVO)."""
+        return self._space
+
+    @property
+    def text_encoder(self) -> TextEncoder:
+        """Query text encoder."""
+        return self._text_encoder
+
+    @property
+    def dataset(self) -> VideoDataset:
+        """The ingested dataset; raises before :meth:`ingest`."""
+        if self._dataset is None:
+            raise QueryError(f"{self.name}: no dataset ingested yet")
+        return self._dataset
+
+    def ingest(self, dataset: VideoDataset) -> None:
+        """Register the dataset and run the system-specific preprocessing."""
+        self._dataset = dataset
+        self._frames = {frame.frame_id: frame for frame in dataset.iter_frames()}
+        self._scene_by_video = {video.video_id: video.scene for video in dataset.videos}
+        with self._timer.phase("processing"):
+            self._preprocess(dataset)
+
+    def query(self, text: str, top_n: int | None = None) -> QueryResponse:
+        """Parse the query and dispatch to the system-specific search."""
+        if self._dataset is None:
+            raise QueryError(f"{self.name}: call ingest() before query()")
+        parsed = self._parser.parse(text)
+        timer = PhaseTimer()
+        results = self._run_query(parsed, top_n or 50, timer)
+        response = QueryResponse(query=text, results=results, timings=timer.as_dict())
+        response.metadata["system"] = self.name
+        for phase, seconds in timer.totals.items():
+            self._timer.add(phase, seconds)
+        return response
+
+    def _run_query(self, parsed: ParsedQuery, top_n: int, timer: PhaseTimer) -> List:
+        """Execute the query, attributing work to timing phases.
+
+        The default implementation times everything as ``"search"``;
+        subclasses with per-query offline work (e.g. MIRIS' detector training
+        and plan configuration) override this to attribute that work to the
+        ``"processing"`` phase, which Fig. 8 counts toward total time but not
+        toward user-perceived search time.
+        """
+        with timer.phase("search"):
+            return self._search(parsed, top_n)
+
+    def frame(self, frame_id: str) -> Frame:
+        """Look up a registered frame by id."""
+        try:
+            return self._frames[frame_id]
+        except KeyError as error:
+            raise QueryError(f"{self.name}: unknown frame {frame_id!r}") from error
+
+    def scene_of(self, frame: Frame) -> str:
+        """Scene label of a frame's parent video."""
+        return self._scene_by_video.get(frame.video_id, "generic")
+
+    def all_frames(self) -> List[Frame]:
+        """Every frame of the ingested dataset."""
+        return list(self._frames.values())
+
+    @abc.abstractmethod
+    def _preprocess(self, dataset: VideoDataset) -> None:
+        """System-specific offline processing (indexing, sampling, ...)."""
+
+    @abc.abstractmethod
+    def _search(self, parsed: ParsedQuery, top_n: int) -> List:
+        """System-specific query execution returning ObjectQueryResults."""

@@ -1,0 +1,43 @@
+"""Hybrid QA-index + QD-search baseline (paper §II, "Hybrid Methods").
+
+The hybrid approach first consults a pre-built index (VOCAL-style); when the
+index cannot express the query it falls back to a query-dependent full scan
+(MIRIS-style).  The paper finds that the combination inherits the weaknesses
+of both sides — index misses trigger expensive rescans — and excludes it from
+the main comparison; it is reproduced here for the motivation experiment
+(Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.miris import MIRISBaseline
+from repro.baselines.vocal import VOCALBaseline
+from repro.config import EncoderConfig
+from repro.core.results import ObjectQueryResult
+from repro.encoders.text import ParsedQuery
+from repro.errors import UnsupportedQueryError
+from repro.video.model import VideoDataset
+
+
+class HybridBaseline(BaselineSystem):
+    """Index first, fall back to query-dependent search when the index fails."""
+
+    name = "Hybrid"
+
+    def __init__(self, encoder_config: EncoderConfig | None = None) -> None:
+        super().__init__(encoder_config)
+        self._index_side = VOCALBaseline(encoder_config)
+        self._search_side = MIRISBaseline(encoder_config)
+
+    def _preprocess(self, dataset: VideoDataset) -> None:
+        self._index_side.ingest(dataset)
+        self._search_side.ingest(dataset)
+
+    def _search(self, parsed: ParsedQuery, top_n: int) -> List[ObjectQueryResult]:
+        try:
+            return self._index_side._search(parsed, top_n)
+        except UnsupportedQueryError:
+            return self._search_side._search(parsed, top_n)

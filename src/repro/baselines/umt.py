@@ -1,0 +1,111 @@
+"""UMT-style end-to-end moment-retrieval baseline (paper §VII-A, [39]).
+
+UMT retrieves *video moments* (temporal segments) rather than objects: videos
+are split into clips, clip-level features are extracted once (cheap), and at
+query time a multi-modal transformer jointly processes the query with every
+clip (expensive — in the paper UMT's search time exceeds its processing
+time).  Its answers are whole-frame moments, so object-level IoU matching
+only succeeds when the target object dominates the frame, reproducing the
+"struggles with small objects within frames" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.detectors import burn_model_compute
+from repro.config import EncoderConfig
+from repro.core.results import ObjectQueryResult
+from repro.encoders.clip_global import GlobalFrameEncoder
+from repro.encoders.text import ParsedQuery
+from repro.encoders.vision import VisionEncoder
+from repro.video.model import Frame, VideoDataset
+
+
+@dataclass(frozen=True)
+class _Clip:
+    """A temporal segment with its mean frame embedding."""
+
+    video_id: str
+    frame_ids: tuple
+    embedding: np.ndarray
+
+
+class UMTBaseline(BaselineSystem):
+    """End-to-end moment retrieval over clip-level features."""
+
+    name = "UMT"
+
+    def __init__(
+        self,
+        encoder_config: EncoderConfig | None = None,
+        clip_length: int = 16,
+        transformer_compute_units: int = 224,
+    ) -> None:
+        super().__init__(encoder_config)
+        self._clip_length = clip_length
+        self._transformer_units = transformer_compute_units
+        self._global_encoder = GlobalFrameEncoder(
+            self._space, class_embedding_dim=self._encoder_config.class_embedding_dim
+        )
+        self._vision_encoder = VisionEncoder(self._space, self._encoder_config)
+        self._clips: List[_Clip] = []
+
+    def _preprocess(self, dataset: VideoDataset) -> None:
+        """Build clip-level features (lightweight compared to the query pass)."""
+        self._clips = []
+        for video in dataset.videos:
+            for start in range(0, video.num_frames, self._clip_length):
+                frames = video.frames[start:start + self._clip_length]
+                if not frames:
+                    continue
+                # Sample a few frames per clip for the visual feature.
+                sampled = frames[:: max(len(frames) // 4, 1)]
+                embedding = self._global_encoder.encode_frames(sampled, scene=video.scene)
+                self._clips.append(
+                    _Clip(
+                        video_id=video.video_id,
+                        frame_ids=tuple(frame.frame_id for frame in frames),
+                        embedding=embedding.mean(axis=0),
+                    )
+                )
+
+    def _search(self, parsed: ParsedQuery, top_n: int) -> List[ObjectQueryResult]:
+        if not self._clips:
+            return []
+        query_vector = self._text_encoder.encode_full(parsed)
+        scores = []
+        for clip in self._clips:
+            # The joint multi-modal transformer pass over every clip is what
+            # makes UMT's search phase its dominant cost.
+            burn_model_compute(self._transformer_units, repeats=2)
+            scores.append(float(clip.embedding @ query_vector))
+        order = np.argsort(-np.asarray(scores))[: max(top_n // 4, 1)]
+
+        results: List[ObjectQueryResult] = []
+        for rank in order:
+            clip = self._clips[int(rank)]
+            # A moment covers several frames; UMT has no object decoder, so
+            # localization falls back to the best-matching patch of a few
+            # frames sampled from the retrieved moment.  Temporal (moment
+            # level) ranking plus this coarse localization is why UMT lags on
+            # small-object queries in the paper.
+            for frame_id in clip.frame_ids[:: max(len(clip.frame_ids) // 4, 1)]:
+                frame = self.frame(frame_id)
+                encodings = self._vision_encoder.encode_frame(frame, scene=self.scene_of(frame))
+                patch_scores = [float(e.class_embedding @ query_vector) for e in encodings]
+                best = int(np.argmax(patch_scores))
+                results.append(
+                    ObjectQueryResult(
+                        frame_id=frame_id,
+                        video_id=frame.video_id,
+                        box=encodings[best].box,
+                        score=float(scores[rank]) + 0.01 * patch_scores[best],
+                        source=self.name,
+                    )
+                )
+        return results[: max(top_n, 1) * 4]

@@ -1,0 +1,97 @@
+"""VISA-style video reasoning-segmentation baseline (paper §VII-A, [48]).
+
+VISA couples a vision encoder with a large language model to reason about a
+query and segment the referred object across frames.  Two properties drive
+its behaviour in the paper's evaluation:
+
+* **cost** — LLM token-by-token processing makes both its preprocessing and
+  its per-query reasoning far slower than every other method (Table III);
+* **domain bias** — it is trained on everyday-life footage with high-quality
+  annotations, so it performs well on QVHighlights/ActivityNet-style scenes
+  and poorly on traffic-camera scenes.
+
+The reproduction models the cost with genuinely heavy per-frame matrix
+workloads and the bias with an elevated miss rate for traffic categories.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.detectors import DetectionModel, burn_model_compute
+from repro.config import EncoderConfig
+from repro.core.results import ObjectQueryResult
+from repro.encoders.text import ParsedQuery
+from repro.video.model import VideoDataset
+
+#: Additional miss probability on traffic categories, modelling VISA's
+#: everyday-life training bias (it is "predominantly fine-tuned for moving
+#: object segmentation" on daily-life footage, not traffic cameras).
+_TRAFFIC_BIAS = {"car": 0.88, "bus": 0.9, "truck": 0.9, "cart": 0.9, "bicycle": 0.7}
+
+
+class VISABaseline(BaselineSystem):
+    """LLM-based reasoning segmentation baseline."""
+
+    name = "VISA"
+
+    def __init__(
+        self,
+        encoder_config: EncoderConfig | None = None,
+        sample_stride: int = 8,
+        llm_compute_units: int = 384,
+        llm_reasoning_repeats: int = 4,
+        match_threshold: float = 0.3,
+    ) -> None:
+        super().__init__(encoder_config)
+        self._stride = sample_stride
+        self._llm_units = llm_compute_units
+        self._llm_repeats = llm_reasoning_repeats
+        self._match_threshold = match_threshold
+        self._segmenter = DetectionModel(
+            name="visa-segmenter",
+            classes=("person", "car", "bus", "truck", "bicycle", "dog", "woman", "man", "cart"),
+            miss_rate=0.08,
+            localization_noise=0.006,
+            compute_units=160,
+            domain_bias=dict(_TRAFFIC_BIAS),
+        )
+        self._sampled_frames: List[str] = []
+
+    def _preprocess(self, dataset: VideoDataset) -> None:
+        """Heavy vision-encoder pass over the sampled frames."""
+        self._sampled_frames = []
+        for video in dataset.videos:
+            for frame in video.frames:
+                if frame.index % self._stride != 0:
+                    continue
+                burn_model_compute(self._llm_units)
+                self._sampled_frames.append(frame.frame_id)
+
+    def _search(self, parsed: ParsedQuery, top_n: int) -> List[ObjectQueryResult]:
+        query_vector = self._space.encode(parsed.all_tokens())
+        results: List[ObjectQueryResult] = []
+        for frame_id in self._sampled_frames:
+            frame = self.frame(frame_id)
+            # LLM reasoning over the frame's visual tokens: several heavy
+            # sequential passes per frame (this is the dominant query cost).
+            burn_model_compute(self._llm_units, repeats=self._llm_repeats)
+            detections = self._segmenter.detect(frame, self._space)
+            for detection in detections:
+                similarity = float(detection.appearance @ query_vector)
+                if similarity < self._match_threshold:
+                    continue
+                results.append(
+                    ObjectQueryResult(
+                        frame_id=frame_id,
+                        video_id=frame.video_id,
+                        box=detection.box,
+                        score=similarity,
+                        source=self.name,
+                    )
+                )
+        results.sort(key=lambda result: result.score, reverse=True)
+        return results[: max(top_n, 1) * 4]

@@ -1,0 +1,146 @@
+"""VOCAL-style query-agnostic index baseline (paper §VII-A, [21][45][46]).
+
+VOCAL/EQUI-VOCAL builds a spatio-temporal scene-graph index: objects of
+*predefined classes* are detected on sampled frames, and simple pairwise
+spatial relations (near / front-of) are materialised between them.  Queries
+are answered purely from that index, which makes them very fast — but any
+query that mentions an unseen class, a visual attribute, or a relation the
+index does not materialise is simply unsupported, which is exactly the
+behaviour the paper reports (VOCAL is "nearly unable to recognize most of the
+queries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.base import BaselineSystem
+from repro.baselines.detectors import MSCOCO_CLASSES, DetectionModel
+from repro.config import EncoderConfig
+from repro.core.results import ObjectQueryResult
+from repro.encoders.text import ParsedQuery
+from repro.errors import UnsupportedQueryError
+from repro.utils.geometry import BoundingBox, box_next_to
+from repro.video.model import Frame, VideoDataset
+
+#: Relations the scene-graph index materialises.  The paper's complex
+#: relations ("side by side", "in the center") are not among them.
+_SUPPORTED_RELATIONS: Tuple[str, ...] = ("next to",)
+
+
+@dataclass(frozen=True)
+class _IndexedObject:
+    """One detection stored in the scene-graph index."""
+
+    frame_id: str
+    video_id: str
+    category: str
+    box: BoundingBox
+    score: float
+    neighbours: Tuple[str, ...]
+
+
+class VOCALBaseline(BaselineSystem):
+    """QA-index baseline: predefined-class scene-graph index."""
+
+    name = "VOCAL"
+
+    def __init__(
+        self,
+        encoder_config: EncoderConfig | None = None,
+        sample_stride: int = 10,
+        detector: DetectionModel | None = None,
+    ) -> None:
+        super().__init__(encoder_config)
+        self._stride = sample_stride
+        self._detector = detector or DetectionModel(name="vocal-detector")
+        self._index: Dict[str, List[_IndexedObject]] = {}
+
+    def _preprocess(self, dataset: VideoDataset) -> None:
+        """Detect predefined classes on sampled frames and build the index."""
+        self._index = {}
+        for video in dataset.videos:
+            for frame in video.frames:
+                if frame.index % self._stride != 0:
+                    continue
+                self._index_frame(frame)
+
+    def _index_frame(self, frame: Frame) -> None:
+        detections = self._detector.detect(frame, self._space)
+        for detection in detections:
+            neighbours = tuple(
+                other.category
+                for other in detections
+                if other.object_id != detection.object_id
+                and box_next_to(detection.box, other.box)
+            )
+            entry = _IndexedObject(
+                frame_id=frame.frame_id,
+                video_id=frame.video_id,
+                category=detection.category,
+                box=detection.box,
+                score=detection.score,
+                neighbours=neighbours,
+            )
+            self._index.setdefault(detection.category, []).append(entry)
+
+    #: Query tokens the scene-graph index can simply ignore (scene context and
+    #: generic activities it does not distinguish anyway).  Visual attributes
+    #: such as colours or garments cannot be ignored: the index has no way to
+    #: answer them, so they make the query unsupported.
+    _IGNORABLE_TOKENS = frozenset({
+        "object", "vehicle", "road", "street", "sidewalk", "room", "outdoors",
+        "meadow", "water", "beach", "driving", "walking", "standing", "parked",
+        "sitting", "riding", "talking",
+    })
+
+    def _search(self, parsed: ParsedQuery, top_n: int) -> List[ObjectQueryResult]:
+        """Answer from the index; raise for anything beyond predefined classes."""
+        categories = [token for token in parsed.object_tokens if token in MSCOCO_CLASSES]
+        attribute_tokens = [
+            token for token in parsed.object_tokens
+            if token not in MSCOCO_CLASSES and token not in self._IGNORABLE_TOKENS
+        ]
+        unsupported_relations = [
+            relation for relation in parsed.relation_tokens
+            if relation not in _SUPPORTED_RELATIONS
+        ]
+        if not categories:
+            raise UnsupportedQueryError(
+                f"VOCAL index has no entry for query classes in {parsed.text!r}"
+            )
+        if attribute_tokens or unsupported_relations or parsed.unknown_words:
+            raise UnsupportedQueryError(
+                "VOCAL cannot express attributes or novel relations: "
+                f"{attribute_tokens + unsupported_relations + list(parsed.unknown_words)}"
+            )
+
+        entries = list(self._index.get(categories[0], []))
+        if parsed.companion_tokens:
+            companion_classes = [
+                token for token in parsed.companion_tokens if token in MSCOCO_CLASSES
+            ]
+            if not companion_classes:
+                raise UnsupportedQueryError(
+                    "VOCAL scene graph has no node for the companion object"
+                )
+            entries = [
+                entry for entry in entries if companion_classes[0] in entry.neighbours
+            ]
+
+        entries.sort(key=lambda entry: entry.score, reverse=True)
+        return [
+            ObjectQueryResult(
+                frame_id=entry.frame_id,
+                video_id=entry.video_id,
+                box=entry.box,
+                score=entry.score,
+                source=self.name,
+            )
+            for entry in entries[:top_n]
+        ]
+
+    def index_size(self) -> int:
+        """Number of indexed detections (diagnostics)."""
+        return sum(len(entries) for entries in self._index.values())

@@ -1,0 +1,179 @@
+"""Configuration dataclasses for every LOVO subsystem.
+
+The defaults mirror the paper's setup where it is specified (ViT-B/32 style
+embedding dimensionality, IoU threshold 0.5, top-``k`` fast search followed by
+top-``n`` rerank) and otherwise pick values that keep the pure-Python
+reproduction tractable while preserving the system's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Configuration of the simulated decoupled encoders (paper §IV).
+
+    Attributes:
+        embedding_dim: Dimensionality ``D`` of the patch/backbone embeddings
+            (the paper uses ViT-B/32 with ``D = 768``; the default is smaller
+            to keep the reproduction fast while preserving behaviour).
+        class_embedding_dim: Dimensionality ``D'`` of the projected class
+            embeddings stored in the vector database (paper §IV-C).
+        patch_grid: Number of patches per frame side; a frame yields
+            ``patch_grid ** 2`` patch tokens.
+        noise_scale: Standard deviation of the isotropic noise added to every
+            visual embedding, modelling encoder imperfection.
+        background_weight: Relative weight of the background/context concept
+            mixed into each patch embedding.
+        seed: Base seed for all "pretrained" weights and concept vectors.
+    """
+
+    embedding_dim: int = 128
+    class_embedding_dim: int = 64
+    patch_grid: int = 8
+    noise_scale: float = 0.08
+    background_weight: float = 0.35
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0 or self.class_embedding_dim <= 0:
+            raise ConfigurationError("Embedding dimensions must be positive")
+        if self.class_embedding_dim > self.embedding_dim:
+            raise ConfigurationError(
+                "class_embedding_dim (D') must not exceed embedding_dim (D)"
+            )
+        if self.patch_grid <= 0:
+            raise ConfigurationError("patch_grid must be positive")
+        if self.noise_scale < 0:
+            raise ConfigurationError("noise_scale must be non-negative")
+
+
+@dataclass(frozen=True)
+class KeyframeConfig:
+    """Configuration of key-frame extraction (paper §IV-A).
+
+    Attributes:
+        strategy: One of ``"mvmed"``, ``"uniform"``, ``"content"`` or
+            ``"all"`` (the w/o-key-frame ablation keeps every frame).
+        uniform_stride: Frame stride for the uniform strategy.
+        motion_threshold: Relative change of aggregate motion magnitude that
+            marks a key frame for the MVmed strategy.
+        content_threshold: Mean absolute pixel difference that marks a key
+            frame for the content strategy.
+        min_gap: Minimum number of frames between two key frames.
+    """
+
+    strategy: str = "mvmed"
+    uniform_stride: int = 10
+    motion_threshold: float = 0.3
+    content_threshold: float = 0.06
+    min_gap: int = 3
+
+    def __post_init__(self) -> None:
+        allowed = {"mvmed", "uniform", "content", "all"}
+        if self.strategy not in allowed:
+            raise ConfigurationError(f"Unknown keyframe strategy {self.strategy!r}; expected one of {sorted(allowed)}")
+        if self.uniform_stride <= 0 or self.min_gap < 0:
+            raise ConfigurationError("uniform_stride must be positive and min_gap non-negative")
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Configuration of the vector-database index (paper §V).
+
+    Attributes:
+        index_type: ``"ivfpq"`` (the paper's inverted multi-index with product
+            quantization), ``"flat"`` (brute force) or ``"hnsw"``.
+        num_subspaces: Number of PQ subspaces ``P``; must divide the class
+            embedding dimensionality.
+        num_centroids: Number of centroids ``M`` per subspace codebook.
+        num_coarse_clusters: Number of inverted-list (coarse) clusters.
+        nprobe: Number of coarse clusters ``A`` visited per query.
+        kmeans_iterations: Lloyd iterations used when training codebooks.
+        hnsw_m: Out-degree of HNSW graph nodes.
+        hnsw_ef_construction: Candidate-list size used while building HNSW.
+        hnsw_ef_search: Candidate-list size used while searching HNSW.
+    """
+
+    index_type: str = "ivfpq"
+    num_subspaces: int = 8
+    num_centroids: int = 32
+    num_coarse_clusters: int = 16
+    nprobe: int = 4
+    kmeans_iterations: int = 12
+    hnsw_m: int = 12
+    hnsw_ef_construction: int = 64
+    hnsw_ef_search: int = 48
+
+    def __post_init__(self) -> None:
+        if self.index_type not in {"ivfpq", "flat", "hnsw"}:
+            raise ConfigurationError(f"Unknown index_type {self.index_type!r}")
+        if self.num_subspaces <= 0 or self.num_centroids <= 1:
+            raise ConfigurationError("num_subspaces must be > 0 and num_centroids > 1")
+        if self.num_coarse_clusters <= 0 or self.nprobe <= 0:
+            raise ConfigurationError("num_coarse_clusters and nprobe must be positive")
+        if self.nprobe > self.num_coarse_clusters:
+            raise ConfigurationError("nprobe cannot exceed num_coarse_clusters")
+
+
+@dataclass(frozen=True)
+class QueryConfig:
+    """Configuration of the two-stage query strategy (paper §VI).
+
+    Attributes:
+        fast_search_k: Number of patch vectors retrieved by the ANN fast
+            search (the ``k`` of Algorithm 1).
+        max_candidate_frames: Upper bound on the number of distinct candidate
+            key frames passed to the rerank stage; keeps rerank cost bounded
+            independently of dataset size (paper §VII-D).
+        rerank_n: Number of frames returned after the cross-modality rerank.
+        rerank_enabled: Disable to reproduce the "w/o Rerank" ablation.
+        ann_enabled: Disable to reproduce the "w/o ANNS" ablation (exhaustive
+            search over the collection).
+        iou_threshold: IoU above which a retrieved box counts as a positive
+            match (0.5 per MSCOCO convention used in the paper).
+    """
+
+    fast_search_k: int = 256
+    max_candidate_frames: int = 60
+    rerank_n: int = 40
+    rerank_enabled: bool = True
+    ann_enabled: bool = True
+    iou_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fast_search_k <= 0 or self.rerank_n <= 0:
+            raise ConfigurationError("fast_search_k and rerank_n must be positive")
+        if self.max_candidate_frames <= 0:
+            raise ConfigurationError("max_candidate_frames must be positive")
+        if not 0.0 < self.iou_threshold < 1.0:
+            raise ConfigurationError("iou_threshold must lie strictly between 0 and 1")
+
+
+@dataclass(frozen=True)
+class LOVOConfig:
+    """Top-level configuration bundling every subsystem."""
+
+    encoder: EncoderConfig = field(default_factory=EncoderConfig)
+    keyframes: KeyframeConfig = field(default_factory=KeyframeConfig)
+    index: IndexConfig = field(default_factory=IndexConfig)
+    query: QueryConfig = field(default_factory=QueryConfig)
+
+    def with_overrides(
+        self,
+        encoder: EncoderConfig | None = None,
+        keyframes: KeyframeConfig | None = None,
+        index: IndexConfig | None = None,
+        query: QueryConfig | None = None,
+    ) -> "LOVOConfig":
+        """Return a copy with selected sub-configurations replaced."""
+        return LOVOConfig(
+            encoder=encoder or self.encoder,
+            keyframes=keyframes or self.keyframes,
+            index=index or self.index,
+            query=query or self.query,
+        )

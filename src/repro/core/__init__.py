@@ -1,0 +1,15 @@
+"""LOVO core: video summary, database storage, and the two-stage query strategy."""
+
+from repro.core.results import ObjectQueryResult, QueryResponse
+from repro.core.storage import LOVOStorage
+from repro.core.summary import SummaryOutput, VideoSummarizer
+from repro.core.system import LOVO
+
+__all__ = [
+    "LOVO",
+    "VideoSummarizer",
+    "SummaryOutput",
+    "LOVOStorage",
+    "ObjectQueryResult",
+    "QueryResponse",
+]

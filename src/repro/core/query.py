@@ -1,0 +1,183 @@
+"""Two-stage query strategy (paper §VI, Algorithm 2).
+
+Stage 1 — **fast search**: the query text is encoded into a single global
+embedding (relations dropped), and an ANN search over the stored class
+embeddings returns the top-``k`` candidate patches, which are grouped into
+candidate key frames.
+
+Stage 2 — **cross-modality rerank**: the candidate frames are re-encoded with
+the full-dimensional visual encoder and scored by the cross-modality
+transformer against the complete query (including relational tokens evaluated
+over the predicted boxes).  The top-``n`` frames with their refined bounding
+boxes are returned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.config import QueryConfig
+from repro.core.results import ObjectQueryResult, QueryResponse
+from repro.core.storage import LOVOStorage
+from repro.core.summary import VideoSummarizer
+from repro.encoders.cross_modal import (
+    CandidatePatch,
+    CrossModalityReranker,
+    FrameCandidate,
+)
+from repro.encoders.text import ParsedQuery, TextEncoder
+from repro.errors import QueryError
+from repro.utils.timing import PhaseTimer
+from repro.video.model import Frame
+
+
+class QueryStrategy:
+    """Implements Algorithm 2 over a populated :class:`LOVOStorage`."""
+
+    def __init__(
+        self,
+        text_encoder: TextEncoder,
+        reranker: CrossModalityReranker,
+        summarizer: VideoSummarizer,
+        storage: LOVOStorage,
+        frame_registry: Mapping[str, Frame],
+        frame_scene: Mapping[str, str],
+        config: QueryConfig | None = None,
+    ) -> None:
+        self._text_encoder = text_encoder
+        self._reranker = reranker
+        self._summarizer = summarizer
+        self._storage = storage
+        self._frames = frame_registry
+        self._frame_scene = frame_scene
+        self._config = config or QueryConfig()
+
+    @property
+    def config(self) -> QueryConfig:
+        """The query configuration (k, n, ablation switches)."""
+        return self._config
+
+    def query(self, text: str, top_n: int | None = None) -> QueryResponse:
+        """Execute a complex object query end to end."""
+        timer = PhaseTimer()
+        parsed = self._text_encoder.parse(text)
+        top_n = top_n or self._config.rerank_n
+
+        with timer.phase("fast_search"):
+            candidate_frames, patch_hits = self._fast_search(parsed)
+
+        if self._config.rerank_enabled and candidate_frames:
+            with timer.phase("rerank"):
+                results = self._rerank(parsed, candidate_frames, top_n)
+        else:
+            results = self._results_from_fast_search(patch_hits, top_n)
+
+        response = QueryResponse(query=text, results=results, timings=timer.as_dict())
+        response.metadata["parsed"] = parsed
+        response.metadata["num_candidates"] = len(candidate_frames)
+        response.metadata["rerank_enabled"] = self._config.rerank_enabled
+        response.metadata["ann_enabled"] = self._config.ann_enabled
+        return response
+
+    def _fast_search(
+        self, parsed: ParsedQuery
+    ) -> Tuple[List[str], List[Tuple[str, float]]]:
+        """Stage 1: ANN top-k patches, grouped into candidate frames.
+
+        The patch hits are grouped into distinct key frames (keeping each
+        frame's best score), and the number of candidate frames handed to the
+        rerank stage is capped so rerank cost stays bounded regardless of how
+        large the indexed dataset is.
+        """
+        query_vector = self._text_encoder.encode(parsed)
+        hits = self._storage.search(
+            query_vector, self._config.fast_search_k, use_ann=self._config.ann_enabled
+        )
+        frame_order: Dict[str, float] = {}
+        patch_hits: List[Tuple[str, float]] = []
+        for hit in hits:
+            patch_hits.append((hit.id, hit.score))
+            frame_id = str(hit.metadata.get("frame_id", ""))
+            if not frame_id:
+                frame_id = self._storage.patch_record(hit.id).frame_id
+            if frame_id not in frame_order:
+                frame_order[frame_id] = hit.score
+        candidate_frames = list(frame_order)[: self._config.max_candidate_frames]
+        return candidate_frames, patch_hits
+
+    def _rerank(
+        self, parsed: ParsedQuery, candidate_frames: List[str], top_n: int
+    ) -> List[ObjectQueryResult]:
+        """Stage 2: cross-modality rerank of the candidate frames."""
+        candidates: List[FrameCandidate] = []
+        for frame_id in candidate_frames:
+            frame = self._frames.get(frame_id)
+            if frame is None:
+                raise QueryError(f"Candidate frame {frame_id!r} is not registered")
+            scene = self._frame_scene.get(frame_id, "generic")
+            encodings = self._summarizer.encode_single_frame(frame, scene=scene)
+            patches = tuple(
+                CandidatePatch(
+                    patch_id=encoding.patch_id,
+                    embedding=encoding.embedding,
+                    box=encoding.box,
+                    objectness=encoding.objectness,
+                )
+                for encoding in encodings
+            )
+            candidates.append(FrameCandidate(frame_id=frame_id, patches=patches))
+
+        reranked = self._reranker.rerank(parsed, candidates, top_n=top_n)
+        results: List[ObjectQueryResult] = []
+        for entry in reranked:
+            frame = self._frames[entry.frame_id]
+            detections = entry.detections or None
+            if detections is None:
+                results.append(
+                    ObjectQueryResult(
+                        frame_id=entry.frame_id,
+                        video_id=frame.video_id,
+                        box=entry.box,
+                        score=entry.score,
+                        patch_id=entry.patch_id,
+                        source="lovo",
+                    )
+                )
+                continue
+            for detection in detections:
+                results.append(
+                    ObjectQueryResult(
+                        frame_id=entry.frame_id,
+                        video_id=frame.video_id,
+                        box=detection.box,
+                        score=detection.score,
+                        patch_id=detection.patch_id,
+                        source="lovo",
+                    )
+                )
+        return results
+
+    def _results_from_fast_search(
+        self, patch_hits: List[Tuple[str, float]], top_n: int
+    ) -> List[ObjectQueryResult]:
+        """w/o-rerank path: return the fast-search patches with stored boxes."""
+        results: List[ObjectQueryResult] = []
+        seen_frames: Dict[str, None] = {}
+        for patch_id, score in patch_hits:
+            record = self._storage.patch_record(patch_id)
+            if record.frame_id in seen_frames:
+                continue
+            seen_frames[record.frame_id] = None
+            results.append(
+                ObjectQueryResult(
+                    frame_id=record.frame_id,
+                    video_id=record.video_id,
+                    box=record.box,
+                    score=score,
+                    patch_id=patch_id,
+                    source="lovo-fast",
+                )
+            )
+            if len(results) >= top_n:
+                break
+        return results

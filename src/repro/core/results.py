@@ -1,0 +1,69 @@
+"""Result types returned by LOVO and the baseline systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.utils.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class ObjectQueryResult:
+    """One retrieved object: a frame, a bounding box, and a relevance score."""
+
+    frame_id: str
+    video_id: str
+    box: BoundingBox
+    score: float
+    patch_id: str = ""
+    source: str = "lovo"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view used by reports and serialisation."""
+        return {
+            "frame_id": self.frame_id,
+            "video_id": self.video_id,
+            "box": list(self.box.to_array()),
+            "score": self.score,
+            "patch_id": self.patch_id,
+            "source": self.source,
+        }
+
+
+@dataclass
+class QueryResponse:
+    """Full response to one object query, including timing breakdowns."""
+
+    query: str
+    results: List[ObjectQueryResult] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def search_seconds(self) -> float:
+        """Query-time seconds (everything except offline video processing)."""
+        return sum(
+            seconds for phase, seconds in self.timings.items()
+            if phase not in {"processing", "indexing"}
+        )
+
+    def top(self, n: int) -> List[ObjectQueryResult]:
+        """The ``n`` highest-scoring results."""
+        ranked = sorted(self.results, key=lambda result: result.score, reverse=True)
+        return ranked[:n]
+
+    def frames(self) -> List[str]:
+        """Distinct frame ids in rank order."""
+        seen: Dict[str, None] = {}
+        for result in sorted(self.results, key=lambda r: r.score, reverse=True):
+            seen.setdefault(result.frame_id, None)
+        return list(seen)
+
+
+def merge_timings(target: Mapping[str, float], extra: Mapping[str, float]) -> Dict[str, float]:
+    """Sum two timing dictionaries phase-by-phase."""
+    merged = dict(target)
+    for phase, seconds in extra.items():
+        merged[phase] = merged.get(phase, 0.0) + seconds
+    return merged

@@ -1,0 +1,128 @@
+"""Database Storage module (paper §V).
+
+Stores the class embeddings produced by the video summary in a vector
+collection (IVF-PQ by default) and the associated metadata — key-frame ids,
+patch ids, bounding boxes — in the relational metadata store, linked by the
+shared patch id.  Provides the lookups the query strategy needs: ANN search
+over the embeddings, exhaustive search for the w/o-ANNS ablation, and
+frame-level metadata retrieval for the rerank stage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.config import IndexConfig
+from repro.encoders.vision import PatchEncoding
+from repro.errors import VectorDatabaseError
+from repro.utils.timing import PhaseTimer
+from repro.vectordb.collection import SearchHit, VectorCollection
+from repro.vectordb.database import VectorDatabase
+from repro.vectordb.metadata import FrameRecord, MetadataStore, PatchRecord
+from repro.video.model import Frame
+
+
+class LOVOStorage:
+    """Vector collection + relational metadata, linked by patch id."""
+
+    COLLECTION_NAME = "lovo_patches"
+
+    def __init__(
+        self,
+        dim: int,
+        index_config: IndexConfig | None = None,
+        database: VectorDatabase | None = None,
+        metadata: MetadataStore | None = None,
+    ) -> None:
+        self._dim = dim
+        self._index_config = index_config or IndexConfig()
+        self._database = database or VectorDatabase()
+        self._metadata = metadata or MetadataStore()
+        self._collection: VectorCollection = self._database.create_collection(
+            self.COLLECTION_NAME, dim, self._index_config
+        )
+
+    @property
+    def collection(self) -> VectorCollection:
+        """The underlying vector collection of class embeddings."""
+        return self._collection
+
+    @property
+    def metadata(self) -> MetadataStore:
+        """The relational metadata store."""
+        return self._metadata
+
+    @property
+    def num_entities(self) -> int:
+        """Number of stored patch vectors."""
+        return self._collection.num_entities
+
+    @property
+    def index_type(self) -> str:
+        """The ANN index family backing the collection."""
+        return self._collection.index_type
+
+    def ingest(
+        self,
+        keyframes: Sequence[Frame],
+        encodings: Sequence[PatchEncoding],
+        timer: PhaseTimer | None = None,
+    ) -> None:
+        """Insert key frames and patch encodings, then build the index."""
+        timer = timer or PhaseTimer()
+        if not encodings:
+            raise VectorDatabaseError("Cannot ingest an empty set of patch encodings")
+        with timer.phase("indexing"):
+            self._metadata.add_frames(
+                FrameRecord(
+                    frame_id=frame.frame_id,
+                    video_id=frame.video_id,
+                    frame_index=frame.index,
+                    timestamp=frame.timestamp,
+                )
+                for frame in keyframes
+            )
+            self._metadata.add_patches(
+                PatchRecord(
+                    patch_id=encoding.patch_id,
+                    frame_id=encoding.frame_id,
+                    video_id=encoding.video_id,
+                    patch_index=encoding.patch_index,
+                    box=encoding.box,
+                    objectness=encoding.objectness,
+                )
+                for encoding in encodings
+            )
+            ids = [encoding.patch_id for encoding in encodings]
+            vectors = np.stack([encoding.class_embedding for encoding in encodings])
+            metadata = [
+                {"frame_id": encoding.frame_id, "video_id": encoding.video_id}
+                for encoding in encodings
+            ]
+            self._collection.insert(ids, vectors, metadata)
+            self._collection.flush()
+
+    def search(self, query_vector: np.ndarray, k: int, use_ann: bool = True) -> List[SearchHit]:
+        """Top-``k`` patch search; exhaustive when ``use_ann`` is false."""
+        if use_ann:
+            return self._collection.search(query_vector, k)
+        return self._collection.search_exhaustive(query_vector, k)
+
+    def patches_for_frame(self, frame_id: str) -> List[PatchRecord]:
+        """All stored patch records of one key frame (for the rerank stage)."""
+        return self._metadata.patches_for_frame(frame_id)
+
+    def patch_record(self, patch_id: str) -> PatchRecord:
+        """Relational record of one patch."""
+        return self._metadata.get_patch(patch_id)
+
+    def storage_report(self) -> dict:
+        """Summary of what is stored (used by reports and ablations)."""
+        return {
+            "num_entities": self.num_entities,
+            "num_keyframes": self._metadata.count_frames(),
+            "index_type": self.index_type,
+            "vector_bytes": self._collection.storage_bytes(),
+        }

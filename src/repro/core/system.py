@@ -1,0 +1,168 @@
+"""The LOVO system facade: ingest datasets once, answer queries with low latency.
+
+Wires together the three modules of the paper — Video Summary (§IV), Database
+Storage (§V), and the two-stage Query Strategy (§VI) — behind a small public
+API:
+
+>>> from repro import LOVO, LOVOConfig
+>>> from repro.video import make_bellevue
+>>> system = LOVO(LOVOConfig())
+>>> system.ingest(make_bellevue(num_videos=1, frames_per_video=60))
+>>> response = system.query("A red car driving in the center of the road")
+>>> response.results[0].frame_id  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import LOVOConfig
+from repro.core.query import QueryStrategy
+from repro.core.results import QueryResponse
+from repro.core.storage import LOVOStorage
+from repro.core.summary import SummaryOutput, VideoSummarizer
+from repro.encoders.cross_modal import CrossModalityReranker, RerankerConfig
+from repro.encoders.text import TextEncoder
+from repro.errors import QueryError
+from repro.utils.timing import PhaseTimer
+from repro.video.model import Frame, VideoDataset
+
+
+class LOVO:
+    """Complex-object-query system over large-scale (synthetic) video data."""
+
+    def __init__(
+        self,
+        config: LOVOConfig | None = None,
+        reranker_config: RerankerConfig | None = None,
+    ) -> None:
+        self._config = config or LOVOConfig()
+        self._summarizer = VideoSummarizer(self._config)
+        self._text_encoder = TextEncoder(
+            self._summarizer.concept_space,
+            class_embedding_dim=self._config.encoder.class_embedding_dim,
+        )
+        self._reranker = CrossModalityReranker(
+            self._summarizer.concept_space,
+            reranker_config or RerankerConfig(seed=self._config.encoder.seed),
+        )
+        self._storage: Optional[LOVOStorage] = None
+        self._strategy: Optional[QueryStrategy] = None
+        self._frame_registry: Dict[str, Frame] = {}
+        self._frame_scene: Dict[str, str] = {}
+        self._timer = PhaseTimer()
+        self._summary: Optional[SummaryOutput] = None
+        self._datasets: List[str] = []
+
+    @property
+    def config(self) -> LOVOConfig:
+        """The system configuration."""
+        return self._config
+
+    @property
+    def timer(self) -> PhaseTimer:
+        """Accumulated phase timings (processing, indexing, fast search, rerank)."""
+        return self._timer
+
+    @property
+    def summarizer(self) -> VideoSummarizer:
+        """The video summary module."""
+        return self._summarizer
+
+    @property
+    def text_encoder(self) -> TextEncoder:
+        """The decoupled text encoder used for fast search."""
+        return self._text_encoder
+
+    @property
+    def storage(self) -> LOVOStorage:
+        """The database storage module; raises before :meth:`ingest`."""
+        if self._storage is None:
+            raise QueryError("No dataset has been ingested yet")
+        return self._storage
+
+    @property
+    def num_entities(self) -> int:
+        """Number of stored patch vectors."""
+        return 0 if self._storage is None else self._storage.num_entities
+
+    @property
+    def num_keyframes(self) -> int:
+        """Number of key frames selected during ingestion."""
+        return 0 if self._summary is None else self._summary.num_keyframes
+
+    @property
+    def ingested_datasets(self) -> List[str]:
+        """Names of the datasets ingested so far."""
+        return list(self._datasets)
+
+    def ingest(self, dataset: VideoDataset) -> SummaryOutput:
+        """One-time video processing and indexing of a dataset.
+
+        May be called several times to grow the index incrementally (new
+        datasets are appended to the same collection).
+        """
+        processing_timer = PhaseTimer()
+        summary = self._summarizer.summarize(dataset, timer=processing_timer)
+        self._timer.add("processing", processing_timer.total("keyframes", "encoding"))
+
+        if self._storage is None:
+            self._storage = LOVOStorage(
+                dim=self._config.encoder.class_embedding_dim,
+                index_config=self._config.index,
+            )
+        indexing_timer = PhaseTimer()
+        self._storage.ingest(summary.keyframes, summary.encodings, timer=indexing_timer)
+        self._timer.add("indexing", indexing_timer.total("indexing"))
+
+        for frame in summary.keyframes:
+            self._frame_registry[frame.frame_id] = frame
+        self._frame_scene.update(summary.frame_scene)
+
+        if self._summary is None:
+            self._summary = summary
+        else:
+            self._summary.keyframes.extend(summary.keyframes)
+            self._summary.encodings.extend(summary.encodings)
+            self._summary.frame_scene.update(summary.frame_scene)
+            self._summary.frames_processed += summary.frames_processed
+            self._summary.total_frames += summary.total_frames
+        self._datasets.append(dataset.name)
+
+        self._strategy = QueryStrategy(
+            text_encoder=self._text_encoder,
+            reranker=self._reranker,
+            summarizer=self._summarizer,
+            storage=self._storage,
+            frame_registry=self._frame_registry,
+            frame_scene=self._frame_scene,
+            config=self._config.query,
+        )
+        return summary
+
+    def query(self, text: str, top_n: int | None = None) -> QueryResponse:
+        """Answer one complex object query (Algorithm 2)."""
+        if self._strategy is None:
+            raise QueryError("Call ingest() before query()")
+        response = self._strategy.query(text, top_n=top_n)
+        for phase, seconds in response.timings.items():
+            self._timer.add(phase, seconds)
+        return response
+
+    def time_distribution(self) -> Dict[str, float]:
+        """The Fig. 9 breakdown: processing / rerank / indexing + fast search."""
+        totals = self._timer.as_dict()
+        return {
+            "processing": totals.get("processing", 0.0),
+            "rerank": totals.get("rerank", 0.0),
+            "indexing_fast_search": totals.get("indexing", 0.0) + totals.get("fast_search", 0.0),
+        }
+
+    def storage_report(self) -> Dict[str, object]:
+        """Storage statistics (entity counts, index type, approximate bytes)."""
+        if self._storage is None:
+            return {"num_entities": 0, "num_keyframes": 0}
+        report = dict(self._storage.storage_report())
+        report["num_keyframes"] = self.num_keyframes
+        report["datasets"] = list(self._datasets)
+        return report

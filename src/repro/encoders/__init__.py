@@ -1,0 +1,24 @@
+"""Simulated pretrained encoders: concept space, text, vision, cross-modality."""
+
+from repro.encoders.concepts import ConceptSpace
+from repro.encoders.cross_modal import CrossModalityReranker, RerankDetection, RerankResult
+from repro.encoders.text import ParsedQuery, QueryParser, TextEncoder
+from repro.encoders.vision import PatchEncoding, PatchGrid, VisionEncoder
+from repro.encoders.clip_global import GlobalFrameEncoder
+from repro.encoders.vocabulary import ConceptVocabulary, default_vocabulary
+
+__all__ = [
+    "ConceptSpace",
+    "ConceptVocabulary",
+    "default_vocabulary",
+    "QueryParser",
+    "ParsedQuery",
+    "TextEncoder",
+    "PatchGrid",
+    "PatchEncoding",
+    "VisionEncoder",
+    "CrossModalityReranker",
+    "RerankResult",
+    "RerankDetection",
+    "GlobalFrameEncoder",
+]

@@ -1,0 +1,132 @@
+"""Deterministic shared concept vector space.
+
+This module is the stand-in for the *alignment* that pretrained
+vision-language models provide: both the text encoder and the vision encoder
+express their outputs as mixtures of the same concept vectors, so a text
+query about a red car lands near the visual embedding of patches containing a
+red car.  Concept vectors are unit-norm pseudo-random directions derived from
+the concept name (so they are stable across processes), and parent links from
+the vocabulary blend a fraction of the parent direction into the child,
+giving graded similarity between e.g. ``woman`` and ``person`` or ``street``
+and ``road``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.encoders.vocabulary import ConceptVocabulary, default_vocabulary
+from repro.errors import EncodingError
+from repro.utils.rng import rng_from_tokens
+
+
+class ConceptSpace:
+    """Maps concept tokens to unit vectors and mixes them into embeddings."""
+
+    #: Weight of each parent direction blended into a child concept.
+    PARENT_WEIGHT = 0.55
+
+    def __init__(
+        self,
+        dim: int = 128,
+        vocabulary: ConceptVocabulary | None = None,
+        seed: int = 7,
+    ) -> None:
+        if dim <= 0:
+            raise EncodingError("Concept space dimension must be positive")
+        self._dim = dim
+        self._seed = seed
+        self._vocabulary = vocabulary or default_vocabulary()
+        self._cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the concept space."""
+        return self._dim
+
+    @property
+    def vocabulary(self) -> ConceptVocabulary:
+        """The vocabulary defining hierarchy and synonyms."""
+        return self._vocabulary
+
+    def vector(self, concept: str) -> np.ndarray:
+        """Unit vector for a canonical concept (deterministic, cached).
+
+        Unknown concepts still receive a stable direction so out-of-vocabulary
+        words degrade gracefully instead of failing, mirroring how a real text
+        encoder embeds any token.
+        """
+        if concept in self._cache:
+            return self._cache[concept]
+        base = self._raw_direction(concept)
+        for parent in self._vocabulary.parents(concept):
+            base = base + self.PARENT_WEIGHT * self.vector(parent)
+        base = base / np.linalg.norm(base)
+        self._cache[concept] = base
+        return base
+
+    def _raw_direction(self, concept: str) -> np.ndarray:
+        rng = rng_from_tokens("concept", concept, base_seed=self._seed)
+        direction = rng.normal(size=self._dim)
+        return direction / np.linalg.norm(direction)
+
+    def encode(
+        self,
+        concepts: Sequence[str],
+        weights: Mapping[str, float] | None = None,
+        normalize: bool = True,
+    ) -> np.ndarray:
+        """Embed a bag of concepts as a (weighted) mixture of their vectors.
+
+        Args:
+            concepts: Canonical concept tokens.
+            weights: Optional per-concept weights; missing concepts get 1.0.
+            normalize: Whether to L2-normalise the result (the paper stores
+                unit-norm vectors so dot product equals cosine similarity).
+
+        Returns:
+            A vector of shape ``(dim,)``.  The zero vector is returned for an
+            empty concept list.
+        """
+        accumulator = np.zeros(self._dim, dtype=np.float64)
+        for concept in concepts:
+            weight = 1.0 if weights is None else float(weights.get(concept, 1.0))
+            accumulator += weight * self.vector(concept)
+        if normalize:
+            norm = np.linalg.norm(accumulator)
+            if norm > 0:
+                accumulator = accumulator / norm
+        return accumulator
+
+    def similarity(self, concepts_a: Sequence[str], concepts_b: Sequence[str]) -> float:
+        """Cosine similarity between two concept bags."""
+        return float(self.encode(concepts_a) @ self.encode(concepts_b))
+
+    def projection_matrix(self, target_dim: int) -> np.ndarray:
+        """Deterministic projection from the concept space to ``target_dim``.
+
+        The paper projects patch embeddings from ``D`` to a smaller class
+        embedding dimensionality ``D'`` (§IV-C); sharing one projection
+        between the vision and text paths keeps them aligned after the
+        projection, exactly as a jointly pretrained head would.
+        The matrix has (approximately) orthonormal rows so dot products are
+        preserved up to scale.
+        """
+        if target_dim <= 0 or target_dim > self._dim:
+            raise EncodingError(
+                f"target_dim must lie in [1, {self._dim}], got {target_dim}"
+            )
+        rng = rng_from_tokens("projection", self._dim, target_dim, base_seed=self._seed)
+        matrix = rng.normal(size=(target_dim, self._dim))
+        # Orthonormalise the rows so the projection preserves angles.
+        q, _ = np.linalg.qr(matrix.T)
+        return q[:, :target_dim].T
+
+    def batch_vectors(self, concepts: Iterable[str]) -> np.ndarray:
+        """Stack the vectors for several concepts into a matrix."""
+        materialised = list(concepts)
+        if not materialised:
+            return np.zeros((0, self._dim), dtype=np.float64)
+        return np.stack([self.vector(concept) for concept in materialised])

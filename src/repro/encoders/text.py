@@ -1,0 +1,269 @@
+"""Query parsing and the decoupled text encoder (paper §VI-A).
+
+The fast-search text encoder turns the whole query sentence into a single
+embedding, keeping the global object phrases ("a person in black suit",
+"road") and deliberately discarding fine-grained relational structure
+("walking on the road", "side by side") — those are evaluated later by the
+cross-modality rerank.  The reproduction implements this with:
+
+* a greedy longest-match tokenizer over the concept vocabulary, producing
+  canonical concepts plus any out-of-vocabulary words;
+* a split of the canonical concepts into *object tokens* and *relation
+  tokens*;
+* a concept-space mixture over the object tokens as the fast-search
+  embedding, projected to the class-embedding dimensionality ``D'`` so it can
+  be compared directly with the stored patch vectors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.encoders.concepts import ConceptSpace
+from repro.encoders.vocabulary import (
+    ConceptVocabulary,
+    split_object_and_relation_tokens,
+)
+from repro.errors import QueryError
+
+#: Words carrying no semantic content for retrieval purposes.
+_STOP_WORDS = {
+    "a", "an", "the", "of", "in", "on", "at", "with", "and", "is", "are",
+    "does", "do", "another", "both", "positioned", "while", "its", "his",
+    "her", "to", "by", "that", "this", "it",
+}
+
+#: Token weights: the head noun (object category) dominates the embedding,
+#: attributes contribute less, context least — mirroring how CLIP-style text
+#: encoders weight the grammatical head of a phrase.
+_CATEGORY_CONCEPTS = {
+    "object", "vehicle", "car", "bus", "truck", "cart", "bicycle",
+    "person", "woman", "man", "dog",
+}
+_CONTEXT_CONCEPTS = {
+    "road", "street", "sidewalk", "car_interior", "room", "meadow",
+    "outdoors", "water", "beach",
+}
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Structured form of a natural-language object query.
+
+    Attributes:
+        text: The original query text.
+        object_tokens: Canonical concepts describing the target object
+            (category, attributes, activities, coarse context).
+        relation_tokens: Canonical relational/positional concepts that the
+            rerank stage evaluates geometrically.
+        companion_tokens: Concepts describing a *second* object the target is
+            related to (e.g. the "another car" in Q2.2 or the "woman wearing
+            black clothes" in Q3.4).
+        unknown_words: Query words not covered by the vocabulary.
+    """
+
+    text: str
+    object_tokens: Tuple[str, ...] = ()
+    relation_tokens: Tuple[str, ...] = ()
+    companion_tokens: Tuple[str, ...] = ()
+    unknown_words: Tuple[str, ...] = ()
+
+    @property
+    def complexity(self) -> str:
+        """Rough complexity class used by the motivation experiment (Fig. 2).
+
+        ``"simple"`` — a bare category; ``"normal"`` — category plus
+        attributes; ``"complex"`` — anything involving relations or a
+        companion object.
+        """
+        if self.relation_tokens or self.companion_tokens:
+            return "complex"
+        non_category = [t for t in self.object_tokens if t not in _CATEGORY_CONCEPTS]
+        if non_category:
+            return "normal"
+        return "simple"
+
+    def all_tokens(self) -> List[str]:
+        """Every canonical concept mentioned by the query."""
+        return list(self.object_tokens) + list(self.relation_tokens) + list(self.companion_tokens)
+
+
+class QueryParser:
+    """Greedy longest-match parser from query text to canonical concepts."""
+
+    def __init__(self, vocabulary: ConceptVocabulary) -> None:
+        self._vocabulary = vocabulary
+        self._phrases = vocabulary.phrases()
+
+    def parse(self, text: str) -> ParsedQuery:
+        """Parse a natural-language query into a :class:`ParsedQuery`."""
+        if not text or not text.strip():
+            raise QueryError("Query text must be non-empty")
+        normalised = re.sub(r"[^\w\s-]", " ", text.lower())
+        words = normalised.split()
+        concepts, unknown = self._match_phrases(words)
+        object_tokens, relation_tokens = split_object_and_relation_tokens(
+            self._vocabulary, concepts
+        )
+        primary, companion = self._split_companion(text.lower(), object_tokens)
+        return ParsedQuery(
+            text=text,
+            object_tokens=tuple(primary),
+            relation_tokens=tuple(dict.fromkeys(relation_tokens)),
+            companion_tokens=tuple(companion),
+            unknown_words=tuple(unknown),
+        )
+
+    def _match_phrases(self, words: List[str]) -> Tuple[List[str], List[str]]:
+        """Greedy longest-match of vocabulary phrases over the word list."""
+        concepts: List[str] = []
+        unknown: List[str] = []
+        position = 0
+        max_phrase_words = max(len(phrase.split()) for phrase in self._phrases)
+        while position < len(words):
+            matched = False
+            for span in range(min(max_phrase_words, len(words) - position), 0, -1):
+                candidate = " ".join(words[position:position + span])
+                canonical = self._vocabulary.canonicalize(candidate)
+                if canonical:
+                    concepts.extend(canonical)
+                    position += span
+                    matched = True
+                    break
+            if not matched:
+                word = words[position]
+                if word not in _STOP_WORDS:
+                    unknown.append(word)
+                position += 1
+        # Preserve order but drop duplicates.
+        return list(dict.fromkeys(concepts)), unknown
+
+    def _split_companion(
+        self, lowered_text: str, object_tokens: List[str]
+    ) -> Tuple[List[str], List[str]]:
+        """Separate concepts describing a second, related object.
+
+        Queries such as "a red car side by side with *another car*" or
+        "a white dog ... next to *a woman wearing black clothes*" describe two
+        objects.  Everything mentioned after the relational connective is
+        treated as describing the companion.
+        """
+        connectives = ["side by side with", "next to", "beside"]
+        split_at = None
+        for connective in connectives:
+            index = lowered_text.find(connective)
+            if index >= 0:
+                split_at = index + len(connective)
+                break
+        if split_at is None:
+            return object_tokens, []
+        tail = lowered_text[split_at:]
+        tail_words = re.sub(r"[^\w\s-]", " ", tail).split()
+        tail_concepts, _ = self._match_phrases(tail_words)
+        tail_objects = [
+            concept for concept in tail_concepts
+            if not self._vocabulary.is_relation(concept) and concept not in _CONTEXT_CONCEPTS
+        ]
+        primary = [token for token in object_tokens if token not in tail_objects]
+        # The head object must keep at least its category; if the split removed
+        # everything (e.g. "car ... with another car"), keep the original list.
+        if not primary:
+            primary = object_tokens
+        return primary, tail_objects
+
+
+class TextEncoder:
+    """Decoupled text encoder producing fast-search query embeddings."""
+
+    def __init__(
+        self,
+        concept_space: ConceptSpace,
+        class_embedding_dim: int,
+        parser: QueryParser | None = None,
+    ) -> None:
+        self._space = concept_space
+        self._parser = parser or QueryParser(concept_space.vocabulary)
+        self._class_dim = class_embedding_dim
+        self._projection = concept_space.projection_matrix(class_embedding_dim)
+
+    @property
+    def parser(self) -> QueryParser:
+        """The query parser used by this encoder."""
+        return self._parser
+
+    @property
+    def class_embedding_dim(self) -> int:
+        """Dimensionality of the produced query embeddings."""
+        return self._class_dim
+
+    def parse(self, text: str) -> ParsedQuery:
+        """Parse without encoding (convenience passthrough)."""
+        return self._parser.parse(text)
+
+    def encode(self, text: str | ParsedQuery) -> np.ndarray:
+        """Encode a query for the fast-search stage.
+
+        Only the object tokens contribute (relations are dropped, §VI-A); the
+        result lives in the class-embedding space ``D'`` and is unit-norm.
+        """
+        parsed = self._ensure_parsed(text)
+        mixture = self._space.encode(
+            list(parsed.object_tokens), weights=self._token_weights(parsed.object_tokens)
+        )
+        projected = self._projection @ mixture
+        norm = np.linalg.norm(projected)
+        if norm > 0:
+            projected = projected / norm
+        return projected
+
+    def encode_full(self, text: str | ParsedQuery) -> np.ndarray:
+        """Encode a query including relational tokens (used by baselines that
+        do not have a separate rerank stage)."""
+        parsed = self._ensure_parsed(text)
+        tokens = parsed.all_tokens()
+        mixture = self._space.encode(tokens, weights=self._token_weights(tokens))
+        projected = self._projection @ mixture
+        norm = np.linalg.norm(projected)
+        if norm > 0:
+            projected = projected / norm
+        return projected
+
+    def token_vectors(self, tokens: Sequence[str]) -> np.ndarray:
+        """Per-token concept vectors in the full concept space ``D``."""
+        return self._space.batch_vectors(tokens)
+
+    def _ensure_parsed(self, text: str | ParsedQuery) -> ParsedQuery:
+        if isinstance(text, ParsedQuery):
+            return text
+        return self._parser.parse(text)
+
+    @staticmethod
+    def _token_weights(tokens: Sequence[str]) -> Dict[str, float]:
+        """Head-noun-heavy weighting of query tokens."""
+        return query_token_weights(tokens)
+
+
+def query_token_weights(tokens: Sequence[str]) -> Dict[str, float]:
+    """Standard query-token weighting: head noun heavy, context light.
+
+    Shared between the fast-search text encoder and the cross-modality rerank
+    so both stages agree on what the query is mostly about.
+    """
+    weights: Dict[str, float] = {}
+    for token in tokens:
+        if token in _CATEGORY_CONCEPTS:
+            weights[token] = 1.6
+        elif token in _CONTEXT_CONCEPTS:
+            weights[token] = 0.5
+        else:
+            weights[token] = 1.0
+    return weights
+
+
+def is_context_token(token: str) -> bool:
+    """Whether a canonical concept denotes scene context rather than the object."""
+    return token in _CONTEXT_CONCEPTS

@@ -1,0 +1,191 @@
+"""Concept vocabulary shared by the simulated text and vision encoders.
+
+The pretrained CLIP/Owl-ViT models the paper relies on embed images and text
+into a *shared* semantic space in which "red car" is close to a picture of a
+red car, "SUV" is close to "large car", and "street" is close to "road".  The
+reproduction replaces those learned models with an explicit concept
+vocabulary:
+
+* every canonical concept (object class, colour, garment, context, activity,
+  spatial relation) gets its own deterministic random direction;
+* hierarchy/parent links make related concepts partially correlated (a
+  ``woman`` embedding is close to ``person``; ``street`` is close to
+  ``road``);
+* a synonym table maps surface forms found in natural-language queries
+  ("SUV", "inside a car", "automobile") onto canonical concepts.
+
+This keeps the semantics of the original models that matter for the paper —
+open-vocabulary matching with graded similarity — while being fully
+deterministic and offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: Concepts that describe *relations or positions* rather than object
+#: appearance.  The fast-search text encoder drops them (paper §VI-A); the
+#: cross-modality rerank evaluates them geometrically (paper §VI-B).
+RELATION_CONCEPTS: Tuple[str, ...] = (
+    "side by side",
+    "next to",
+    "center",
+    "inside",
+    "intersection",
+)
+
+
+@dataclass(frozen=True)
+class ConceptVocabulary:
+    """Canonical concepts, their parents, and surface-form synonyms.
+
+    Attributes:
+        concepts: Maps each canonical concept to its parent concepts (possibly
+            empty).  Parents induce partial similarity in the concept space.
+        synonyms: Maps a surface form (lower-case phrase) to one or more
+            canonical concepts it expresses.
+        relation_concepts: Concepts treated as spatial/relational.
+    """
+
+    concepts: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    synonyms: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    relation_concepts: Tuple[str, ...] = RELATION_CONCEPTS
+
+    def known_concepts(self) -> List[str]:
+        """All canonical concept names."""
+        return list(self.concepts)
+
+    def parents(self, concept: str) -> Tuple[str, ...]:
+        """Parent concepts of ``concept`` (empty when unknown or a root)."""
+        return tuple(self.concepts.get(concept, ()))
+
+    def is_relation(self, concept: str) -> bool:
+        """Whether ``concept`` is a spatial/relational concept."""
+        return concept in self.relation_concepts
+
+    def canonicalize(self, phrase: str) -> Tuple[str, ...]:
+        """Map a surface phrase to canonical concepts.
+
+        Returns an empty tuple when the phrase is not in the vocabulary; the
+        caller decides whether to ignore it or treat it as out-of-vocabulary.
+        """
+        lowered = phrase.lower().strip()
+        if lowered in self.synonyms:
+            return tuple(self.synonyms[lowered])
+        if lowered in self.concepts:
+            return (lowered,)
+        return ()
+
+    def phrases(self) -> List[str]:
+        """Every phrase (concept or synonym) the parser should match.
+
+        Longer phrases first, so greedy longest-match tokenisation works.
+        """
+        forms = set(self.concepts) | set(self.synonyms)
+        return sorted(forms, key=lambda form: (-len(form.split()), form))
+
+
+def default_vocabulary() -> ConceptVocabulary:
+    """The vocabulary covering the paper's datasets and queries (Table II/VI)."""
+    concepts: Dict[str, Tuple[str, ...]] = {
+        # Object categories (with a coarse hierarchy).
+        "object": (),
+        "vehicle": ("object",),
+        "car": ("vehicle",),
+        "bus": ("vehicle",),
+        "truck": ("vehicle",),
+        "cart": ("vehicle",),
+        "bicycle": ("vehicle",),
+        "person": ("object",),
+        "woman": ("person",),
+        "man": ("person",),
+        "dog": ("object",),
+        # Colours and sizes.
+        "red": (), "black": (), "white": (), "green": (), "yellow-green": ("green",),
+        "blue": (), "grey": (), "silver": ("grey",), "light": (), "dark": (),
+        "brown": (), "orange": (),
+        "large": (), "small": (),
+        # Clothing / appearance attributes.
+        "coat": (), "jacket": (), "shirt": (),
+        "black t-shirt": ("black", "shirt"),
+        "blue jeans": ("blue",),
+        "white dress": ("white",),
+        "black clothes": ("black",),
+        "grey skirt": ("grey",),
+        "red life jacket": ("red", "jacket"),
+        "hat": (),
+        "red hair": ("red",),
+        "smiling": (),
+        "dark bag": ("dark",),
+        "white roof": ("white",),
+        "cargo": (),
+        # Scene context.
+        "road": (), "street": ("road",), "sidewalk": ("road",),
+        "car_interior": ("car",),
+        "room": (), "meadow": ("outdoors",), "outdoors": (), "water": ("outdoors",),
+        "beach": ("outdoors",),
+        # Activities.
+        "driving": (), "walking": (), "riding": (), "sitting": (), "standing": (),
+        "parked": (), "holding": (), "dancing": (), "talking": (), "paddling": (),
+        # Relations / positions (evaluated geometrically during rerank).
+        "side by side": (), "next to": (), "center": (), "inside": (),
+        "intersection": ("road",),
+    }
+    synonyms: Dict[str, Tuple[str, ...]] = {
+        # Open-vocabulary classes outside the MSCOCO label set.
+        "suv": ("car", "large"),
+        "automobile": ("car",),
+        "lady": ("woman",),
+        "guy": ("man",),
+        "puppy": ("dog",),
+        "bike": ("bicycle",),
+        "pickup": ("truck",),
+        # Context phrasings.
+        "inside a car": ("car_interior", "inside"),
+        "inside car": ("car_interior", "inside"),
+        "in the car": ("car_interior", "inside"),
+        "in the center": ("center",),
+        "in the center of the road": ("center", "road"),
+        "center of the road": ("center", "road"),
+        "in the intersection": ("intersection",),
+        "intersection of the road": ("intersection", "road"),
+        "on the road": ("road",),
+        "in road": ("road",),
+        "on the street": ("street",),
+        "on the meadow": ("meadow",),
+        "in the room": ("room",),
+        "light-colored": ("light",),
+        "light colored": ("light",),
+        "dark-colored": ("dark",),
+        "red-hair": ("red hair",),
+        "red-haired": ("red hair",),
+        "filled with cargo": ("cargo",),
+        "with cargo": ("cargo",),
+        "yellow green": ("yellow-green",),
+        "life jacket": ("red life jacket",),
+        "t-shirt": ("shirt",),
+        "jeans": ("blue jeans",),
+        "dress": ("white dress",),
+        "skirt": ("grey skirt",),
+        "side-by-side": ("side by side",),
+        "beside": ("next to",),
+        "wearing a hat": ("hat",),
+        "with a hat": ("hat",),
+        "holding": ("holding",),
+    }
+    return ConceptVocabulary(concepts=concepts, synonyms=synonyms)
+
+
+def split_object_and_relation_tokens(
+    vocabulary: ConceptVocabulary, concepts: Sequence[str]
+) -> Tuple[List[str], List[str]]:
+    """Partition canonical concepts into object-level and relational tokens."""
+    object_tokens: List[str] = []
+    relation_tokens: List[str] = []
+    for concept in concepts:
+        if vocabulary.is_relation(concept):
+            relation_tokens.append(concept)
+        else:
+            object_tokens.append(concept)
+    return object_tokens, relation_tokens

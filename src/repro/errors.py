@@ -1,0 +1,64 @@
+"""Exception hierarchy for the LOVO reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch everything raised by the package with a single ``except`` clause while
+still being able to discriminate between subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object contains inconsistent values."""
+
+
+class VideoError(ReproError):
+    """Raised for malformed video, frame, or dataset structures."""
+
+
+class EncodingError(ReproError):
+    """Raised when text or vision encoding receives invalid input."""
+
+
+class VectorDatabaseError(ReproError):
+    """Base class for vector-database errors."""
+
+
+class CollectionNotFoundError(VectorDatabaseError):
+    """Raised when a named collection does not exist in the database."""
+
+
+class CollectionExistsError(VectorDatabaseError):
+    """Raised when creating a collection whose name is already taken."""
+
+
+class IndexNotBuiltError(VectorDatabaseError):
+    """Raised when searching an index that has not been built or trained."""
+
+
+class DimensionMismatchError(VectorDatabaseError):
+    """Raised when a vector's dimensionality does not match the collection."""
+
+
+class MetadataError(VectorDatabaseError):
+    """Raised for relational metadata store failures."""
+
+
+class QueryError(ReproError):
+    """Raised when a query cannot be parsed or executed."""
+
+
+class UnsupportedQueryError(QueryError):
+    """Raised by baseline systems that cannot express a given query.
+
+    The paper marks such cases as "Unsupported" (e.g. VOCAL on queries with
+    unseen classes or novel spatial relations).
+    """
+
+
+class EvaluationError(ReproError):
+    """Raised when an evaluation metric receives ill-formed input."""

@@ -1,0 +1,50 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benchmarks print tables shaped like the paper's tables and figures (AveP
+per query, runtime per dataset, ablation grids).  These helpers format such
+tables without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width text table."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(header) for header in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Mapping[object, float], unit: str = "") -> str:
+    """Render a one-line-per-point series (for figure-style outputs)."""
+    lines = [f"{name}:"]
+    for key, value in points.items():
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {key}: {value:.4f}{suffix}")
+    return "\n".join(lines)
+
+
+def speedup_factors(latencies: Mapping[str, float]) -> Dict[str, float]:
+    """Normalise latencies against the slowest entry (the paper's "Nx" labels)."""
+    if not latencies:
+        return {}
+    slowest = max(latencies.values())
+    return {
+        name: (slowest / value if value > 0 else float("inf"))
+        for name, value in latencies.items()
+    }

@@ -1,0 +1,291 @@
+"""Query workloads of the paper (Table II and Table VI) with ground truth.
+
+Every query is a :class:`QuerySpec`: the natural-language text, the dataset
+it targets, and a *ground-truth predicate* over annotated objects.  Ground
+truth is derived from the synthetic dataset annotations exactly the way the
+paper derives it from ByteTrack boxes plus manual labelling: an object in a
+frame is a positive when the predicate holds (category, attributes, context,
+activity, and — for the complex queries — geometric relations against the
+other objects in the same frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import GroundTruthInstance
+from repro.utils.geometry import BoundingBox, box_in_center_region, box_next_to, boxes_side_by_side
+from repro.video.model import Frame, ObjectAnnotation, VideoDataset
+
+#: Signature of a ground-truth predicate: does this object, in this frame,
+#: satisfy the query?
+Predicate = Callable[[ObjectAnnotation, Frame], bool]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One evaluation query with its ground-truth predicate."""
+
+    query_id: str
+    dataset: str
+    text: str
+    predicate: Predicate
+    complexity: str = "normal"
+
+
+def _has(annotation: ObjectAnnotation, **attributes: str) -> bool:
+    """Whether the annotation carries all the given attribute values."""
+    return all(annotation.attributes.get(key) == value for key, value in attributes.items())
+
+
+def _category(annotation: ObjectAnnotation, *categories: str) -> bool:
+    return annotation.category in categories
+
+
+def _in_context(annotation: ObjectAnnotation, *contexts: str) -> bool:
+    return any(context in annotation.context for context in contexts)
+
+
+def _doing(annotation: ObjectAnnotation, *activities: str) -> bool:
+    return any(activity in annotation.activity for activity in activities)
+
+
+def _side_by_side_with(
+    annotation: ObjectAnnotation, frame: Frame, companion_category: str
+) -> bool:
+    for other in frame.objects:
+        if other.object_id == annotation.object_id:
+            continue
+        if other.category != companion_category:
+            continue
+        if boxes_side_by_side(annotation.box.clipped(), other.box.clipped()):
+            return True
+    return False
+
+
+def _next_to(
+    annotation: ObjectAnnotation,
+    frame: Frame,
+    companion_category: str,
+    companion_attributes: Optional[Dict[str, str]] = None,
+) -> bool:
+    for other in frame.objects:
+        if other.object_id == annotation.object_id:
+            continue
+        if other.category != companion_category:
+            continue
+        if companion_attributes and not _has(other, **companion_attributes):
+            continue
+        if box_next_to(annotation.box.clipped(), other.box.clipped()):
+            return True
+    return False
+
+
+def _build_query_table() -> Dict[str, QuerySpec]:
+    """All evaluation queries: Table II (Q1.1–Q4.4) plus Table VI (EQ1–EQ4)."""
+    specs: List[QuerySpec] = [
+        # Cityscapes.
+        QuerySpec(
+            "Q1.1", "cityscapes", "A person walking on the street.",
+            lambda obj, frame: _category(obj, "person") and _doing(obj, "walking")
+            and _in_context(obj, "street"),
+            complexity="simple",
+        ),
+        QuerySpec(
+            "Q1.2", "cityscapes",
+            "A person in light-colored clothing walking while holding a dark bag.",
+            lambda obj, frame: _category(obj, "person") and _doing(obj, "walking")
+            and _has(obj, color="light", accessory="dark bag"),
+            complexity="normal",
+        ),
+        QuerySpec(
+            "Q1.3", "cityscapes", "A person riding a bicycle.",
+            lambda obj, frame: _category(obj, "person") and _doing(obj, "riding")
+            and obj.attributes.get("vehicle") == "bicycle",
+            complexity="simple",
+        ),
+        QuerySpec(
+            "Q1.4", "cityscapes",
+            "A person riding a bicycle, wearing a black t-shirt and blue jeans.",
+            lambda obj, frame: _category(obj, "person") and _doing(obj, "riding")
+            and _has(obj, vehicle="bicycle", clothing="black t-shirt"),
+            complexity="normal",
+        ),
+        # Bellevue.
+        QuerySpec(
+            "Q2.1", "bellevue", "A red car driving in the center of the road.",
+            lambda obj, frame: _category(obj, "car") and _has(obj, color="red")
+            and _doing(obj, "driving") and box_in_center_region(obj.box.clipped()),
+            complexity="normal",
+        ),
+        QuerySpec(
+            "Q2.2", "bellevue",
+            "A red car side by side with another car, both positioned in the center of the road.",
+            lambda obj, frame: _category(obj, "car") and _has(obj, color="red")
+            and box_in_center_region(obj.box.clipped())
+            and _side_by_side_with(obj, frame, "car"),
+            complexity="complex",
+        ),
+        QuerySpec(
+            "Q2.3", "bellevue", "A bus driving on the road.",
+            lambda obj, frame: _category(obj, "bus") and _doing(obj, "driving")
+            and _in_context(obj, "road"),
+            complexity="simple",
+        ),
+        QuerySpec(
+            "Q2.4", "bellevue",
+            "A bus driving on the road with white roof and yellow-green body.",
+            lambda obj, frame: _category(obj, "bus")
+            and _has(obj, color="yellow-green", roof="white roof"),
+            complexity="normal",
+        ),
+        # QVHighlights.
+        QuerySpec(
+            "Q3.1", "qvhighlights", "A woman smiling sitting inside car.",
+            lambda obj, frame: _category(obj, "woman") and _in_context(obj, "car_interior")
+            and obj.attributes.get("expression") == "smiling",
+            complexity="normal",
+        ),
+        QuerySpec(
+            "Q3.2", "qvhighlights",
+            "A red-hair woman with white dress sitting inside a car.",
+            lambda obj, frame: _category(obj, "woman") and _in_context(obj, "car_interior")
+            and _has(obj, hair="red hair", clothing="white dress"),
+            complexity="normal",
+        ),
+        QuerySpec(
+            "Q3.3", "qvhighlights", "A white dog inside a car.",
+            lambda obj, frame: _category(obj, "dog") and _has(obj, color="white")
+            and _in_context(obj, "car_interior"),
+            complexity="normal",
+        ),
+        QuerySpec(
+            "Q3.4", "qvhighlights",
+            "A white dog inside a car, next to a woman wearing black clothes.",
+            lambda obj, frame: _category(obj, "dog") and _has(obj, color="white")
+            and _in_context(obj, "car_interior")
+            and _next_to(obj, frame, "woman", {"clothing": "black clothes"}),
+            complexity="complex",
+        ),
+        # Beach.
+        QuerySpec(
+            "Q4.1", "beach", "A green bus driving on the road.",
+            lambda obj, frame: _category(obj, "bus") and _has(obj, color="green")
+            and _doing(obj, "driving"),
+            complexity="normal",
+        ),
+        QuerySpec(
+            "Q4.2", "beach", "A green bus with the white roof driving on the road.",
+            lambda obj, frame: _category(obj, "bus")
+            and _has(obj, color="green", roof="white roof"),
+            complexity="normal",
+        ),
+        QuerySpec(
+            "Q4.3", "beach", "A truck driving on the road.",
+            lambda obj, frame: _category(obj, "truck") and _doing(obj, "driving"),
+            complexity="simple",
+        ),
+        QuerySpec(
+            "Q4.4", "beach", "A small white truck filled with cargo driving on the road.",
+            lambda obj, frame: _category(obj, "truck")
+            and _has(obj, color="white", size="small", load="cargo"),
+            complexity="normal",
+        ),
+        # ActivityNet-QA extension queries (Table VI).
+        QuerySpec(
+            "EQ1", "activitynet", "does the car park on the meadow",
+            lambda obj, frame: _category(obj, "car") and _doing(obj, "parked")
+            and _in_context(obj, "meadow"),
+            complexity="normal",
+        ),
+        QuerySpec(
+            "EQ2", "activitynet", "is the person with a hat a man",
+            lambda obj, frame: _category(obj, "man") and _has(obj, headwear="hat"),
+            complexity="normal",
+        ),
+        QuerySpec(
+            "EQ3", "activitynet", "is the person in the red life jacket outdoors",
+            lambda obj, frame: _category(obj, "person")
+            and _has(obj, clothing="red life jacket") and _in_context(obj, "outdoors"),
+            complexity="normal",
+        ),
+        QuerySpec(
+            "EQ4", "activitynet", "is the person in a grey skirt dancing in the room",
+            lambda obj, frame: _category(obj, "person")
+            and _has(obj, clothing="grey skirt") and _doing(obj, "dancing"),
+            complexity="normal",
+        ),
+    ]
+    return {spec.query_id: spec for spec in specs}
+
+
+_QUERIES: Dict[str, QuerySpec] = _build_query_table()
+
+
+def all_queries() -> List[QuerySpec]:
+    """All query specifications, in the order of Table II / Table VI."""
+    return list(_QUERIES.values())
+
+
+def query_by_id(query_id: str) -> QuerySpec:
+    """Look up one query spec by id (e.g. ``"Q2.2"``)."""
+    try:
+        return _QUERIES[query_id]
+    except KeyError as error:
+        raise EvaluationError(f"Unknown query id {query_id!r}") from error
+
+
+def queries_for_dataset(dataset_name: str) -> List[QuerySpec]:
+    """The queries designed for one dataset."""
+    return [spec for spec in _QUERIES.values() if spec.dataset == dataset_name]
+
+
+def build_ground_truth(
+    dataset: VideoDataset,
+    spec: QuerySpec,
+    restrict_to_frames: Optional[Iterable[str]] = None,
+) -> List[GroundTruthInstance]:
+    """Ground-truth instances for a query over a dataset.
+
+    A ground-truth *instance* is a distinct object (track id) satisfying the
+    query predicate, together with its box in every frame where the predicate
+    holds.  This mirrors the paper's ByteTrack-assisted labelling, where the
+    annotated unit is the object rather than every individual frame pixel.
+
+    Args:
+        dataset: The annotated dataset.
+        spec: The query specification.
+        restrict_to_frames: Optionally restrict ground truth to a set of frame
+            ids (e.g. the key frames a particular system actually indexed).
+
+    Returns:
+        One :class:`GroundTruthInstance` per distinct qualifying object.
+    """
+    allowed = set(restrict_to_frames) if restrict_to_frames is not None else None
+    per_object: Dict[str, Dict[str, BoundingBox]] = {}
+    for frame in dataset.iter_frames():
+        if allowed is not None and frame.frame_id not in allowed:
+            continue
+        for annotation in frame.visible_objects():
+            if spec.predicate(annotation, frame):
+                per_object.setdefault(annotation.object_id, {})[frame.frame_id] = (
+                    annotation.box.clipped()
+                )
+    return [
+        GroundTruthInstance(object_id=object_id, boxes=boxes)
+        for object_id, boxes in per_object.items()
+    ]
+
+
+def motivation_queries() -> Dict[str, List[str]]:
+    """The three complexity levels used by the motivation experiment (Fig. 2)."""
+    return {
+        "simple": ["car"],
+        "normal": ["red car in road", "large black car on road"],
+        "complex": [
+            "A red car side by side with another car, both positioned in the center of the road.",
+            "A black SUV driving in the intersection of the road.",
+        ],
+    }

@@ -1,0 +1,32 @@
+"""Temporal key-frame strategies: fixed-stride sampling and keep-everything."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.keyframes.base import KeyframeExtractor
+from repro.video.model import Frame, Video
+
+
+class UniformKeyframeExtractor(KeyframeExtractor):
+    """Selects every ``stride``-th frame (the paper's temporal strategy)."""
+
+    def __init__(self, stride: int = 10) -> None:
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self._stride = stride
+
+    @property
+    def stride(self) -> int:
+        """Sampling stride in frames."""
+        return self._stride
+
+    def extract(self, video: Video) -> List[Frame]:
+        return [frame for frame in video.frames if frame.index % self._stride == 0]
+
+
+class AllFramesExtractor(KeyframeExtractor):
+    """Keeps every frame — the "w/o key frame" ablation of Table IV."""
+
+    def extract(self, video: Video) -> List[Frame]:
+        return list(video.frames)

@@ -1,0 +1,6 @@
+"""Multi-object tracking used for ground-truth labelling (ByteTrack stand-in)."""
+
+from repro.tracking.bytetrack import ByteTracker, Detection, Track
+from repro.tracking.kalman import ConstantVelocityKalman
+
+__all__ = ["ByteTracker", "Detection", "Track", "ConstantVelocityKalman"]

@@ -1,0 +1,142 @@
+"""ByteTrack-style multi-object tracker.
+
+The paper uses ByteTrack to label bounding boxes for ground-truth
+construction and MIRIS-style baselines rely on per-query tracking.  This
+implementation follows the core ByteTrack idea: associate high-confidence
+detections to existing tracks first (by IoU, greedy matching), then try to
+rescue unmatched tracks with the remaining low-confidence detections, and
+finally spawn new tracks for whatever is left.  Track motion is propagated by
+a constant-velocity Kalman filter between frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.geometry import BoundingBox, iou
+from repro.tracking.kalman import ConstantVelocityKalman
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detection supplied to the tracker for a single frame."""
+
+    box: BoundingBox
+    score: float
+    category: str = "object"
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class Track:
+    """A tracked object across frames."""
+
+    track_id: int
+    category: str
+    boxes: Dict[str, BoundingBox] = field(default_factory=dict)
+    last_frame_id: Optional[str] = None
+    misses: int = 0
+    hits: int = 0
+
+    def add(self, frame_id: str, box: BoundingBox) -> None:
+        """Record the track position for a frame."""
+        self.boxes[frame_id] = box
+        self.last_frame_id = frame_id
+        self.hits += 1
+        self.misses = 0
+
+    @property
+    def length(self) -> int:
+        """Number of frames the track covers."""
+        return len(self.boxes)
+
+
+class ByteTracker:
+    """Greedy IoU tracker with two-stage (high/low confidence) association."""
+
+    def __init__(
+        self,
+        high_threshold: float = 0.5,
+        iou_threshold: float = 0.3,
+        max_misses: int = 5,
+    ) -> None:
+        self._high_threshold = high_threshold
+        self._iou_threshold = iou_threshold
+        self._max_misses = max_misses
+        self._next_id = 0
+        self._active: List[Tuple[Track, ConstantVelocityKalman]] = []
+        self._finished: List[Track] = []
+
+    def step(self, frame_id: str, detections: Sequence[Detection]) -> List[Track]:
+        """Process one frame of detections; returns the active tracks."""
+        predictions = [(track, kalman, kalman.predict()) for track, kalman in self._active]
+        high = [det for det in detections if det.score >= self._high_threshold]
+        low = [det for det in detections if det.score < self._high_threshold]
+
+        matched_tracks, remaining_high = self._associate(frame_id, predictions, high)
+        unmatched = [entry for entry in predictions if entry[0].track_id not in matched_tracks]
+        rescued_tracks, _remaining_low = self._associate(frame_id, unmatched, low)
+        matched_tracks.update(rescued_tracks)
+
+        for track, kalman, _predicted in predictions:
+            if track.track_id not in matched_tracks:
+                track.misses += 1
+
+        for detection in remaining_high:
+            self._spawn(frame_id, detection)
+
+        self._retire_stale()
+        return [track for track, _ in self._active]
+
+    def _associate(
+        self,
+        frame_id: str,
+        predictions: List[Tuple[Track, ConstantVelocityKalman, BoundingBox]],
+        detections: List[Detection],
+    ) -> Tuple[set, List[Detection]]:
+        """Greedy IoU association; returns matched track ids and leftovers."""
+        matched_ids: set = set()
+        used_detections: set = set()
+        pairs: List[Tuple[float, int, int]] = []
+        for t_index, (_track, _kalman, predicted) in enumerate(predictions):
+            for d_index, detection in enumerate(detections):
+                if detections[d_index].category != predictions[t_index][0].category:
+                    continue
+                overlap = iou(predicted, detection.box)
+                if overlap >= self._iou_threshold:
+                    pairs.append((overlap, t_index, d_index))
+        pairs.sort(reverse=True)
+        for _overlap, t_index, d_index in pairs:
+            track, kalman, _predicted = predictions[t_index]
+            if track.track_id in matched_ids or d_index in used_detections:
+                continue
+            corrected = kalman.update(detections[d_index].box)
+            track.add(frame_id, corrected)
+            matched_ids.add(track.track_id)
+            used_detections.add(d_index)
+        leftovers = [det for index, det in enumerate(detections) if index not in used_detections]
+        return matched_ids, leftovers
+
+    def _spawn(self, frame_id: str, detection: Detection) -> None:
+        track = Track(track_id=self._next_id, category=detection.category)
+        self._next_id += 1
+        kalman = ConstantVelocityKalman(detection.box)
+        track.add(frame_id, detection.box)
+        self._active.append((track, kalman))
+
+    def _retire_stale(self) -> None:
+        survivors: List[Tuple[Track, ConstantVelocityKalman]] = []
+        for track, kalman in self._active:
+            if track.misses > self._max_misses:
+                self._finished.append(track)
+            else:
+                survivors.append((track, kalman))
+        self._active = survivors
+
+    def finish(self) -> List[Track]:
+        """Finalise tracking and return every track ever created."""
+        tracks = [track for track, _ in self._active] + self._finished
+        self._active = []
+        self._finished = []
+        return sorted(tracks, key=lambda track: track.track_id)

@@ -1,0 +1,63 @@
+"""Constant-velocity Kalman filter over bounding-box state.
+
+The state is ``[cx, cy, w, h, vx, vy]`` — box centre, size, and centre
+velocity.  ByteTrack uses a Kalman filter to propagate track positions between
+frames; this minimal implementation provides the same predict/update cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.geometry import BoundingBox
+
+
+class ConstantVelocityKalman:
+    """Kalman filter with a constant-velocity motion model for one track."""
+
+    STATE_DIM = 6
+    MEASUREMENT_DIM = 4
+
+    def __init__(
+        self,
+        initial_box: BoundingBox,
+        process_noise: float = 1e-3,
+        measurement_noise: float = 1e-2,
+    ) -> None:
+        cx, cy = initial_box.center
+        self.state = np.array([cx, cy, initial_box.w, initial_box.h, 0.0, 0.0], dtype=np.float64)
+        self.covariance = np.eye(self.STATE_DIM) * 0.1
+        self._transition = np.eye(self.STATE_DIM)
+        self._transition[0, 4] = 1.0
+        self._transition[1, 5] = 1.0
+        self._observation = np.zeros((self.MEASUREMENT_DIM, self.STATE_DIM))
+        self._observation[:4, :4] = np.eye(4)
+        self._process_noise = np.eye(self.STATE_DIM) * process_noise
+        self._measurement_noise = np.eye(self.MEASUREMENT_DIM) * measurement_noise
+
+    def predict(self) -> BoundingBox:
+        """Advance the state one frame and return the predicted box."""
+        self.state = self._transition @ self.state
+        self.covariance = (
+            self._transition @ self.covariance @ self._transition.T + self._process_noise
+        )
+        return self.current_box()
+
+    def update(self, measurement: BoundingBox) -> BoundingBox:
+        """Fuse an observed box into the state and return the corrected box."""
+        cx, cy = measurement.center
+        observed = np.array([cx, cy, measurement.w, measurement.h], dtype=np.float64)
+        innovation = observed - self._observation @ self.state
+        innovation_cov = (
+            self._observation @ self.covariance @ self._observation.T + self._measurement_noise
+        )
+        gain = self.covariance @ self._observation.T @ np.linalg.inv(innovation_cov)
+        self.state = self.state + gain @ innovation
+        identity = np.eye(self.STATE_DIM)
+        self.covariance = (identity - gain @ self._observation) @ self.covariance
+        return self.current_box()
+
+    def current_box(self) -> BoundingBox:
+        """The box implied by the current state estimate."""
+        cx, cy, w, h = self.state[:4]
+        return BoundingBox.from_center(float(cx), float(cy), max(float(w), 1e-6), max(float(h), 1e-6))

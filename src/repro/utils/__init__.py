@@ -1,0 +1,16 @@
+"""Shared utilities: geometry, deterministic RNG, timing, serialization."""
+
+from repro.utils.geometry import BoundingBox, iou, iou_matrix, pairwise_center_distance
+from repro.utils.rng import derive_seed, rng_from_tokens
+from repro.utils.timing import PhaseTimer, Stopwatch
+
+__all__ = [
+    "BoundingBox",
+    "iou",
+    "iou_matrix",
+    "pairwise_center_distance",
+    "derive_seed",
+    "rng_from_tokens",
+    "PhaseTimer",
+    "Stopwatch",
+]

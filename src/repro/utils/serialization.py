@@ -1,0 +1,52 @@
+"""Lightweight persistence helpers for indexes and collections.
+
+The vector database supports saving and loading built indexes so that the
+"one-time feature extraction" story of the paper carries through: a dataset is
+summarised and indexed once, persisted, and served for any number of queries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+
+def save_json(path: str | Path, payload: Mapping[str, Any]) -> None:
+    """Write ``payload`` to ``path`` as UTF-8 JSON, creating parent dirs."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=_json_default)
+
+
+def load_json(path: str | Path) -> Dict[str, Any]:
+    """Load a JSON document written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_arrays(path: str | Path, arrays: Mapping[str, np.ndarray]) -> None:
+    """Save named arrays to a compressed ``.npz`` archive."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(target, **{name: np.asarray(value) for name, value in arrays.items()})
+
+
+def load_arrays(path: str | Path) -> Dict[str, np.ndarray]:
+    """Load all arrays from a ``.npz`` archive into a plain dict."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def _json_default(value: Any) -> Any:
+    """JSON serialiser for NumPy scalars and arrays."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"Object of type {type(value)!r} is not JSON serialisable")

@@ -1,0 +1,107 @@
+"""Wall-clock timing helpers used to report the paper's latency breakdowns.
+
+The paper splits LOVO's execution time into *video processing*, *indexing +
+fast search*, and *cross-modality rerank* phases (Fig. 9) and reports search
+versus total time for every system (Fig. 8, Table III).  :class:`PhaseTimer`
+accumulates named phases so the benchmark harness can regenerate exactly those
+breakdowns.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """A restartable stopwatch measuring elapsed wall-clock seconds."""
+
+    _start: float | None = None
+    _elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the accumulated elapsed time."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Reset the accumulated time and stop."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds so far (including a running interval)."""
+        running = 0.0
+        if self._start is not None:
+            running = time.perf_counter() - self._start
+        return self._elapsed + running
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Example:
+        >>> timer = PhaseTimer()
+        >>> with timer.phase("fast_search"):
+        ...     pass
+        >>> "fast_search" in timer.totals
+        True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one occurrence of phase ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.add(name, elapsed)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to phase ``name`` explicitly."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, *names: str) -> float:
+        """Sum of the given phases; all phases when none are given."""
+        if not names:
+            return sum(self.totals.values())
+        return sum(self.totals.get(name, 0.0) for name in names)
+
+    def mean(self, name: str) -> float:
+        """Average duration of a phase across its occurrences."""
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[name] / count
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's totals into this one."""
+        for name, seconds in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + other.counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the per-phase totals."""
+        return dict(self.totals)
+
+    def reset(self) -> None:
+        """Drop all recorded phases."""
+        self.totals.clear()
+        self.counts.clear()

@@ -1,0 +1,72 @@
+"""Common interface for ANN indexes (Flat, IVF-PQ, HNSW)."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, VectorDatabaseError
+
+
+@dataclass(frozen=True)
+class IndexHit:
+    """One search result: an internal integer id and its similarity score."""
+
+    id: int
+    score: float
+
+
+class VectorIndex(abc.ABC):
+    """Abstract maximum-inner-product index over unit-norm vectors.
+
+    All LOVO embeddings are L2-normalised, so maximum inner product equals
+    maximum cosine similarity and minimum Euclidean distance (paper §V-A).
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise VectorDatabaseError("Index dimensionality must be positive")
+        self._dim = dim
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality accepted by the index."""
+        return self._dim
+
+    @property
+    @abc.abstractmethod
+    def ntotal(self) -> int:
+        """Number of vectors stored in the index."""
+
+    @abc.abstractmethod
+    def add(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        """Insert vectors with the given integer ids."""
+
+    @abc.abstractmethod
+    def build(self) -> None:
+        """Finalise the index (train quantizers, build graphs); idempotent."""
+
+    @abc.abstractmethod
+    def search(self, query: np.ndarray, k: int) -> List[IndexHit]:
+        """Return the top-``k`` hits by inner-product similarity."""
+
+    def _validate(self, vectors: np.ndarray) -> np.ndarray:
+        data = np.asarray(vectors, dtype=np.float64)
+        if data.ndim == 1:
+            data = data[None, :]
+        if data.shape[1] != self._dim:
+            raise DimensionMismatchError(
+                f"Expected vectors of dimension {self._dim}, got {data.shape[1]}"
+            )
+        return data
+
+    def _validate_query(self, query: np.ndarray) -> np.ndarray:
+        vector = np.asarray(query, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self._dim:
+            raise DimensionMismatchError(
+                f"Expected query of dimension {self._dim}, got {vector.shape[0]}"
+            )
+        return vector

@@ -1,0 +1,192 @@
+"""Vector collection: named set of vectors with string primary keys.
+
+A collection is the Milvus-style unit the rest of the system talks to: it
+owns an ANN index (Flat, IVF-PQ, or HNSW per its :class:`~repro.config.
+IndexConfig`), maps external string ids (patch ids) to internal integer ids,
+and carries an optional metadata dict per entity for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.config import IndexConfig
+from repro.errors import VectorDatabaseError
+from repro.vectordb.base import VectorIndex
+from repro.vectordb.flat import FlatIndex
+from repro.vectordb.hnsw import HNSWIndex
+from repro.vectordb.ivfpq import IVFPQIndex
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One collection search result."""
+
+    id: str
+    score: float
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+
+def build_index(dim: int, config: IndexConfig) -> VectorIndex:
+    """Instantiate the ANN index described by ``config``."""
+    if config.index_type == "flat":
+        return FlatIndex(dim)
+    if config.index_type == "hnsw":
+        return HNSWIndex(dim, config)
+    return IVFPQIndex(dim, config)
+
+
+class VectorCollection:
+    """A named, indexable collection of unit-norm vectors."""
+
+    def __init__(self, name: str, dim: int, config: IndexConfig | None = None) -> None:
+        if not name:
+            raise VectorDatabaseError("Collection name must be non-empty")
+        if dim <= 0:
+            raise VectorDatabaseError("Collection dimensionality must be positive")
+        self._name = name
+        self._dim = dim
+        self._config = config or IndexConfig()
+        self._index = build_index(dim, self._config)
+        self._external_to_internal: Dict[str, int] = {}
+        self._internal_to_external: List[str] = []
+        self._metadata: List[Mapping[str, object]] = []
+        self._vectors: List[np.ndarray] = []
+        self._built = False
+
+    @property
+    def name(self) -> str:
+        """Collection name."""
+        return self._name
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    @property
+    def index_type(self) -> str:
+        """Which ANN index backs the collection."""
+        return self._config.index_type
+
+    @property
+    def config(self) -> IndexConfig:
+        """The index configuration."""
+        return self._config
+
+    @property
+    def num_entities(self) -> int:
+        """Number of stored vectors."""
+        return len(self._internal_to_external)
+
+    def insert(
+        self,
+        ids: Sequence[str],
+        vectors: np.ndarray,
+        metadata: Optional[Sequence[Mapping[str, object]]] = None,
+    ) -> None:
+        """Insert entities; ids must be unique within the collection."""
+        data = np.asarray(vectors, dtype=np.float64)
+        if data.ndim == 1:
+            data = data[None, :]
+        if data.shape[0] != len(ids):
+            raise VectorDatabaseError(
+                f"Got {len(ids)} ids for {data.shape[0]} vectors"
+            )
+        if data.shape[1] != self._dim:
+            raise VectorDatabaseError(
+                f"Collection {self._name!r} stores {self._dim}-d vectors, got {data.shape[1]}-d"
+            )
+        if metadata is not None and len(metadata) != len(ids):
+            raise VectorDatabaseError("metadata length must match ids length")
+
+        internal_ids: List[int] = []
+        for position, external_id in enumerate(ids):
+            if external_id in self._external_to_internal:
+                raise VectorDatabaseError(
+                    f"Duplicate id {external_id!r} in collection {self._name!r}"
+                )
+            internal = len(self._internal_to_external)
+            self._external_to_internal[external_id] = internal
+            self._internal_to_external.append(external_id)
+            self._metadata.append(dict(metadata[position]) if metadata is not None else {})
+            self._vectors.append(data[position])
+            internal_ids.append(internal)
+        self._index.add(internal_ids, data)
+        self._built = False
+
+    def flush(self) -> None:
+        """Build (train) the underlying index; called automatically on search."""
+        if self.num_entities == 0:
+            return
+        self._index.build()
+        self._built = True
+
+    def search(self, query: np.ndarray, k: int) -> List[SearchHit]:
+        """ANN search returning external ids, scores, and metadata."""
+        if self.num_entities == 0 or k <= 0:
+            return []
+        if not self._built:
+            self.flush()
+        hits = self._index.search(np.asarray(query, dtype=np.float64), k)
+        return [
+            SearchHit(
+                id=self._internal_to_external[hit.id],
+                score=hit.score,
+                metadata=self._metadata[hit.id],
+            )
+            for hit in hits
+        ]
+
+    def search_exhaustive(self, query: np.ndarray, k: int) -> List[SearchHit]:
+        """Exact brute-force search regardless of the configured index.
+
+        Used by the "w/o ANNS" ablation of Table IV.
+        """
+        if self.num_entities == 0 or k <= 0:
+            return []
+        matrix = np.vstack(self._vectors)
+        vector = np.asarray(query, dtype=np.float64).reshape(-1)
+        scores = matrix @ vector
+        k = min(k, scores.shape[0])
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [
+            SearchHit(
+                id=self._internal_to_external[int(i)],
+                score=float(scores[i]),
+                metadata=self._metadata[int(i)],
+            )
+            for i in top
+        ]
+
+    def get_vector(self, external_id: str) -> np.ndarray:
+        """Return the stored vector for an id."""
+        try:
+            internal = self._external_to_internal[external_id]
+        except KeyError as error:
+            raise VectorDatabaseError(
+                f"Id {external_id!r} not found in collection {self._name!r}"
+            ) from error
+        return self._vectors[internal]
+
+    def get_metadata(self, external_id: str) -> Mapping[str, object]:
+        """Return the metadata dict stored for an id."""
+        try:
+            internal = self._external_to_internal[external_id]
+        except KeyError as error:
+            raise VectorDatabaseError(
+                f"Id {external_id!r} not found in collection {self._name!r}"
+            ) from error
+        return self._metadata[internal]
+
+    def ids(self) -> List[str]:
+        """All external ids in insertion order."""
+        return list(self._internal_to_external)
+
+    def storage_bytes(self) -> int:
+        """Approximate memory footprint of the raw vectors (for reporting)."""
+        return self.num_entities * self._dim * 8

@@ -1,0 +1,51 @@
+"""Milvus-like facade managing named vector collections."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import IndexConfig
+from repro.errors import CollectionExistsError, CollectionNotFoundError
+from repro.vectordb.collection import VectorCollection
+
+
+class VectorDatabase:
+    """A registry of :class:`VectorCollection` objects, keyed by name."""
+
+    def __init__(self) -> None:
+        self._collections: Dict[str, VectorCollection] = {}
+
+    def create_collection(
+        self, name: str, dim: int, config: IndexConfig | None = None
+    ) -> VectorCollection:
+        """Create a new collection; raises if the name is taken."""
+        if name in self._collections:
+            raise CollectionExistsError(f"Collection {name!r} already exists")
+        collection = VectorCollection(name, dim, config)
+        self._collections[name] = collection
+        return collection
+
+    def get_collection(self, name: str) -> VectorCollection:
+        """Fetch an existing collection by name."""
+        try:
+            return self._collections[name]
+        except KeyError as error:
+            raise CollectionNotFoundError(f"Collection {name!r} does not exist") from error
+
+    def has_collection(self, name: str) -> bool:
+        """Whether a collection with ``name`` exists."""
+        return name in self._collections
+
+    def drop_collection(self, name: str) -> None:
+        """Delete a collection; raises if it does not exist."""
+        if name not in self._collections:
+            raise CollectionNotFoundError(f"Collection {name!r} does not exist")
+        del self._collections[name]
+
+    def list_collections(self) -> List[str]:
+        """Names of all collections."""
+        return sorted(self._collections)
+
+    def total_entities(self) -> int:
+        """Total number of vectors across every collection."""
+        return sum(collection.num_entities for collection in self._collections.values())

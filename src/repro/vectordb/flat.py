@@ -1,0 +1,60 @@
+"""Brute-force (exact) inner-product index — the LOVO(BF) variant of Table V."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import VectorDatabaseError
+from repro.vectordb.base import IndexHit, VectorIndex
+
+
+class FlatIndex(VectorIndex):
+    """Exact search by a single matrix-vector product over all vectors."""
+
+    def __init__(self, dim: int) -> None:
+        super().__init__(dim)
+        self._chunks: List[np.ndarray] = []
+        self._id_chunks: List[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
+        self._ids: np.ndarray | None = None
+
+    @property
+    def ntotal(self) -> int:
+        if self._matrix is not None:
+            return int(self._matrix.shape[0])
+        return int(sum(chunk.shape[0] for chunk in self._chunks))
+
+    def add(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        data = self._validate(vectors)
+        if len(ids) != data.shape[0]:
+            raise VectorDatabaseError(
+                f"Got {len(ids)} ids for {data.shape[0]} vectors"
+            )
+        self._chunks.append(data)
+        self._id_chunks.append(np.asarray(ids, dtype=np.int64))
+        self._matrix = None
+        self._ids = None
+
+    def build(self) -> None:
+        if self._matrix is not None:
+            return
+        if not self._chunks:
+            self._matrix = np.zeros((0, self.dim), dtype=np.float64)
+            self._ids = np.zeros(0, dtype=np.int64)
+            return
+        self._matrix = np.vstack(self._chunks)
+        self._ids = np.concatenate(self._id_chunks)
+
+    def search(self, query: np.ndarray, k: int) -> List[IndexHit]:
+        self.build()
+        assert self._matrix is not None and self._ids is not None
+        if self._matrix.shape[0] == 0 or k <= 0:
+            return []
+        vector = self._validate_query(query)
+        scores = self._matrix @ vector
+        k = min(k, scores.shape[0])
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [IndexHit(id=int(self._ids[i]), score=float(scores[i])) for i in top]

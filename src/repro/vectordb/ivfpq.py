@@ -1,0 +1,205 @@
+"""Inverted multi-index with product quantization (paper §V-B, Algorithm 1).
+
+The index combines two levels of quantization:
+
+* a **coarse quantizer** (k-means over the full vectors) partitions the
+  collection into inverted lists — the "clusters" of Algorithm 1;
+* a **product quantizer** encodes the *residual* of each vector with respect
+  to its coarse centroid as ``P`` sub-codes.
+
+At query time the coarse centroids are ranked by similarity with the query,
+the best ``A`` (``nprobe``) inverted lists are scanned, and each stored code
+is scored with an ADC lookup table:
+
+``s(q, c_a) ≈ s(q, centroid) + q · residual(c_a)``
+
+which is exactly the approximation in lines 8–11 of Algorithm 1.  The top
+candidates are then re-scored exactly with the reconstructed vectors (lines
+13–15) and returned in descending order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.config import IndexConfig
+from repro.errors import IndexNotBuiltError, VectorDatabaseError
+from repro.vectordb.base import IndexHit, VectorIndex
+from repro.vectordb.kmeans import lloyd_kmeans
+from repro.vectordb.quantization import ProductQuantizer
+
+
+@dataclass
+class _InvertedList:
+    """One coarse cluster: the ids, PQ codes, and residual reconstructions."""
+
+    ids: List[int] = field(default_factory=list)
+    codes: List[np.ndarray] = field(default_factory=list)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self.ids:
+            return np.zeros(0, dtype=np.int64), np.zeros((0, 0), dtype=np.int32)
+        return np.asarray(self.ids, dtype=np.int64), np.vstack(self.codes)
+
+
+class IVFPQIndex(VectorIndex):
+    """Quantization-based inverted multi-index (the paper's default index)."""
+
+    def __init__(self, dim: int, config: IndexConfig | None = None) -> None:
+        super().__init__(dim)
+        self._config = config or IndexConfig()
+        if dim % self._config.num_subspaces != 0:
+            raise VectorDatabaseError(
+                f"Dimension {dim} is not divisible by num_subspaces "
+                f"{self._config.num_subspaces}"
+            )
+        self._pending_ids: List[int] = []
+        self._pending_vectors: List[np.ndarray] = []
+        self._coarse_centroids: np.ndarray | None = None
+        self._lists: Dict[int, _InvertedList] = {}
+        self._quantizer = ProductQuantizer(
+            num_subspaces=self._config.num_subspaces,
+            num_centroids=self._config.num_centroids,
+            kmeans_iterations=self._config.kmeans_iterations,
+        )
+        self._built = False
+        self._count = 0
+
+    @property
+    def config(self) -> IndexConfig:
+        """Index configuration (nlist, nprobe, PQ parameters)."""
+        return self._config
+
+    @property
+    def ntotal(self) -> int:
+        return self._count + len(self._pending_ids)
+
+    @property
+    def nprobe(self) -> int:
+        """Number of inverted lists visited per query."""
+        return self._config.nprobe
+
+    def add(self, ids: Sequence[int], vectors: np.ndarray) -> None:
+        data = self._validate(vectors)
+        if len(ids) != data.shape[0]:
+            raise VectorDatabaseError(f"Got {len(ids)} ids for {data.shape[0]} vectors")
+        if self._built:
+            # Incremental insertion after build: assign to existing structures.
+            self._insert_built(list(ids), data)
+            return
+        self._pending_ids.extend(int(identifier) for identifier in ids)
+        self._pending_vectors.append(data)
+
+    def build(self) -> None:
+        """Train the coarse quantizer and PQ codebooks, then fill the lists."""
+        if self._built:
+            return
+        if not self._pending_vectors:
+            raise IndexNotBuiltError("Cannot build an IVF-PQ index with no vectors")
+        vectors = np.vstack(self._pending_vectors)
+        ids = list(self._pending_ids)
+
+        num_clusters = min(self._config.num_coarse_clusters, vectors.shape[0])
+        coarse = lloyd_kmeans(
+            vectors,
+            num_clusters=num_clusters,
+            max_iterations=self._config.kmeans_iterations,
+            seed=1,
+        )
+        self._coarse_centroids = coarse.centroids
+
+        residuals = vectors - coarse.centroids[coarse.assignments]
+        self._quantizer.train(residuals)
+        self._built = True
+        self._lists = {}
+        self._count = 0
+        self._fill_lists(ids, vectors, coarse.assignments)
+        self._pending_ids = []
+        self._pending_vectors = []
+
+    def search(self, query: np.ndarray, k: int) -> List[IndexHit]:
+        if not self._built:
+            self.build()
+        assert self._coarse_centroids is not None
+        if k <= 0 or self._count == 0:
+            return []
+        vector = self._validate_query(query)
+
+        # Rank coarse centroids by similarity and keep the best A clusters.
+        centroid_scores = self._coarse_centroids @ vector
+        nprobe = min(self._config.nprobe, centroid_scores.shape[0])
+        probed = np.argsort(-centroid_scores)[:nprobe]
+
+        tables = self._quantizer.inner_product_tables(vector)
+        candidate_ids: List[np.ndarray] = []
+        candidate_scores: List[np.ndarray] = []
+        candidate_clusters: List[np.ndarray] = []
+        for cluster in probed:
+            inverted = self._lists.get(int(cluster))
+            if inverted is None or not inverted.ids:
+                continue
+            ids_array, codes = inverted.as_arrays()
+            residual_scores = np.zeros(codes.shape[0], dtype=np.float64)
+            for subspace in range(self._quantizer.num_subspaces):
+                residual_scores += tables[subspace, codes[:, subspace]]
+            approx = centroid_scores[cluster] + residual_scores
+            candidate_ids.append(ids_array)
+            candidate_scores.append(approx)
+            candidate_clusters.append(np.full(ids_array.shape[0], cluster, dtype=np.int64))
+        if not candidate_ids:
+            return []
+        all_ids = np.concatenate(candidate_ids)
+        all_scores = np.concatenate(candidate_scores)
+        all_clusters = np.concatenate(candidate_clusters)
+
+        # Short-list with the approximate scores, then re-score exactly using
+        # the reconstructed vectors (coarse centroid + decoded residual).
+        shortlist_size = min(max(k * 8, k), all_scores.shape[0])
+        shortlist = np.argpartition(-all_scores, shortlist_size - 1)[:shortlist_size]
+        exact_scores = np.empty(shortlist.shape[0], dtype=np.float64)
+        for position, candidate in enumerate(shortlist):
+            cluster = int(all_clusters[candidate])
+            inverted = self._lists[cluster]
+            local_index = int(np.where(np.asarray(inverted.ids) == all_ids[candidate])[0][0])
+            code = inverted.codes[local_index][None, :]
+            reconstructed = self._coarse_centroids[cluster] + self._quantizer.decode(code)[0]
+            exact_scores[position] = float(reconstructed @ vector)
+
+        order = np.argsort(-exact_scores)[: min(k, shortlist.shape[0])]
+        return [
+            IndexHit(id=int(all_ids[shortlist[i]]), score=float(exact_scores[i]))
+            for i in order
+        ]
+
+    def list_sizes(self) -> Dict[int, int]:
+        """Number of vectors stored per inverted list (diagnostics)."""
+        return {cluster: len(entry.ids) for cluster, entry in self._lists.items()}
+
+    def memory_bytes(self) -> int:
+        """Approximate index memory footprint (codes + centroids)."""
+        code_bytes = sum(len(entry.ids) * self._config.num_subspaces for entry in self._lists.values())
+        centroid_bytes = 0
+        if self._coarse_centroids is not None:
+            centroid_bytes += self._coarse_centroids.size * 8
+        if self._quantizer.is_trained:
+            centroid_bytes += sum(book.size * 8 for book in self._quantizer.codebooks)
+        return code_bytes + centroid_bytes
+
+    def _fill_lists(self, ids: List[int], vectors: np.ndarray, assignments: np.ndarray) -> None:
+        assert self._coarse_centroids is not None
+        residuals = vectors - self._coarse_centroids[assignments]
+        codes = self._quantizer.encode(residuals)
+        for identifier, cluster, code in zip(ids, assignments, codes):
+            entry = self._lists.setdefault(int(cluster), _InvertedList())
+            entry.ids.append(int(identifier))
+            entry.codes.append(code)
+        self._count += len(ids)
+
+    def _insert_built(self, ids: List[int], vectors: np.ndarray) -> None:
+        assert self._coarse_centroids is not None
+        scores = vectors @ self._coarse_centroids.T
+        assignments = scores.argmax(axis=1)
+        self._fill_lists(ids, vectors, assignments)

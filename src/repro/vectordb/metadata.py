@@ -1,0 +1,195 @@
+"""Relational metadata store linked to the vector index by patch id.
+
+The paper keeps "supplementary metadata such as key frame identifiers and
+bounding box coordinates ... in a relational database" linked to the vector
+database "through the shared patch ID" (§V-B).  This module implements that
+relational side with SQLite (standard library), storing key frames and patch
+records and answering the lookups the query strategy needs: patch → frame /
+bounding box, and frame → all of its patch detections.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import MetadataError
+from repro.utils.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class PatchRecord:
+    """Relational record of one stored patch detection."""
+
+    patch_id: str
+    frame_id: str
+    video_id: str
+    patch_index: int
+    box: BoundingBox
+    objectness: float
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Relational record of one key frame."""
+
+    frame_id: str
+    video_id: str
+    frame_index: int
+    timestamp: float
+
+
+class MetadataStore:
+    """SQLite-backed store for key-frame and patch metadata."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._path = str(path) if path is not None else ":memory:"
+        self._connection = sqlite3.connect(self._path)
+        self._connection.execute("PRAGMA journal_mode = MEMORY")
+        self._create_tables()
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "MetadataStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _create_tables(self) -> None:
+        with self._connection:
+            self._connection.execute(
+                """
+                CREATE TABLE IF NOT EXISTS frames (
+                    frame_id TEXT PRIMARY KEY,
+                    video_id TEXT NOT NULL,
+                    frame_index INTEGER NOT NULL,
+                    timestamp REAL NOT NULL
+                )
+                """
+            )
+            self._connection.execute(
+                """
+                CREATE TABLE IF NOT EXISTS patches (
+                    patch_id TEXT PRIMARY KEY,
+                    frame_id TEXT NOT NULL,
+                    video_id TEXT NOT NULL,
+                    patch_index INTEGER NOT NULL,
+                    x REAL NOT NULL,
+                    y REAL NOT NULL,
+                    w REAL NOT NULL,
+                    h REAL NOT NULL,
+                    objectness REAL NOT NULL,
+                    FOREIGN KEY (frame_id) REFERENCES frames (frame_id)
+                )
+                """
+            )
+            self._connection.execute(
+                "CREATE INDEX IF NOT EXISTS idx_patches_frame ON patches (frame_id)"
+            )
+
+    def add_frames(self, frames: Iterable[FrameRecord]) -> None:
+        """Insert (or replace) key-frame records."""
+        rows = [
+            (record.frame_id, record.video_id, record.frame_index, record.timestamp)
+            for record in frames
+        ]
+        with self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO frames VALUES (?, ?, ?, ?)", rows
+            )
+
+    def add_patches(self, patches: Iterable[PatchRecord]) -> None:
+        """Insert (or replace) patch records."""
+        rows = [
+            (
+                record.patch_id,
+                record.frame_id,
+                record.video_id,
+                record.patch_index,
+                record.box.x,
+                record.box.y,
+                record.box.w,
+                record.box.h,
+                record.objectness,
+            )
+            for record in patches
+        ]
+        with self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO patches VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)", rows
+            )
+
+    def get_patch(self, patch_id: str) -> PatchRecord:
+        """Fetch one patch record; raises :class:`MetadataError` if missing."""
+        cursor = self._connection.execute(
+            "SELECT patch_id, frame_id, video_id, patch_index, x, y, w, h, objectness "
+            "FROM patches WHERE patch_id = ?",
+            (patch_id,),
+        )
+        row = cursor.fetchone()
+        if row is None:
+            raise MetadataError(f"Patch {patch_id!r} not found in metadata store")
+        return self._row_to_patch(row)
+
+    def get_patches(self, patch_ids: Sequence[str]) -> List[PatchRecord]:
+        """Fetch several patch records, preserving the requested order."""
+        return [self.get_patch(patch_id) for patch_id in patch_ids]
+
+    def patches_for_frame(self, frame_id: str) -> List[PatchRecord]:
+        """All patch records stored for a frame, ordered by patch index."""
+        cursor = self._connection.execute(
+            "SELECT patch_id, frame_id, video_id, patch_index, x, y, w, h, objectness "
+            "FROM patches WHERE frame_id = ? ORDER BY patch_index",
+            (frame_id,),
+        )
+        return [self._row_to_patch(row) for row in cursor.fetchall()]
+
+    def get_frame(self, frame_id: str) -> Optional[FrameRecord]:
+        """Fetch a frame record, or ``None`` if it was never stored."""
+        cursor = self._connection.execute(
+            "SELECT frame_id, video_id, frame_index, timestamp FROM frames WHERE frame_id = ?",
+            (frame_id,),
+        )
+        row = cursor.fetchone()
+        if row is None:
+            return None
+        return FrameRecord(
+            frame_id=row[0], video_id=row[1], frame_index=int(row[2]), timestamp=float(row[3])
+        )
+
+    def list_frames(self) -> List[FrameRecord]:
+        """All stored key frames ordered by video and frame index."""
+        cursor = self._connection.execute(
+            "SELECT frame_id, video_id, frame_index, timestamp FROM frames "
+            "ORDER BY video_id, frame_index"
+        )
+        return [
+            FrameRecord(frame_id=row[0], video_id=row[1], frame_index=int(row[2]), timestamp=float(row[3]))
+            for row in cursor.fetchall()
+        ]
+
+    def count_patches(self) -> int:
+        """Number of patch records stored."""
+        cursor = self._connection.execute("SELECT COUNT(*) FROM patches")
+        return int(cursor.fetchone()[0])
+
+    def count_frames(self) -> int:
+        """Number of key-frame records stored."""
+        cursor = self._connection.execute("SELECT COUNT(*) FROM frames")
+        return int(cursor.fetchone()[0])
+
+    @staticmethod
+    def _row_to_patch(row: tuple) -> PatchRecord:
+        return PatchRecord(
+            patch_id=row[0],
+            frame_id=row[1],
+            video_id=row[2],
+            patch_index=int(row[3]),
+            box=BoundingBox(float(row[4]), float(row[5]), float(row[6]), float(row[7])),
+            objectness=float(row[8]),
+        )

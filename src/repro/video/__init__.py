@@ -1,0 +1,28 @@
+"""Synthetic video substrate: data model, scene generators, rendering, motion."""
+
+from repro.video.model import Frame, ObjectAnnotation, Video, VideoDataset
+from repro.video.synthetic import ObjectSpec, SceneSpec, SyntheticVideoGenerator
+from repro.video.datasets import (
+    make_activitynet_qa,
+    make_beach,
+    make_bellevue,
+    make_cityscapes,
+    make_dataset,
+    make_qvhighlights,
+)
+
+__all__ = [
+    "Frame",
+    "ObjectAnnotation",
+    "Video",
+    "VideoDataset",
+    "ObjectSpec",
+    "SceneSpec",
+    "SyntheticVideoGenerator",
+    "make_cityscapes",
+    "make_bellevue",
+    "make_qvhighlights",
+    "make_beach",
+    "make_activitynet_qa",
+    "make_dataset",
+]

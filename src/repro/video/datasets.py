@@ -1,0 +1,309 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper evaluates on four video datasets (Table II) plus ActivityNet-QA for
+the query-type extension (Table VI/VII):
+
+* **Cityscapes** — moving dashcam, urban streets, pedestrians and cyclists.
+* **Bellevue Traffic** — fixed intersection camera, cars and buses.
+* **QVHighlights** — diverse YouTube vlogs; the selected queries involve
+  people and dogs inside cars.
+* **Beach** — fixed sidewalk camera at a resort; buses, trucks, carts.
+* **ActivityNet-QA** — everyday activity videos used for yes/no questions.
+
+Each builder below assembles a :class:`~repro.video.synthetic.SceneSpec`
+whose object archetypes include both the *query targets* of Table II (e.g. a
+red car driving side-by-side in the centre of the road, a green bus with a
+white roof) and plentiful distractors, so that retrieval is a genuine
+discrimination problem rather than a lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import VideoError
+from repro.video.model import VideoDataset
+from repro.video.synthetic import ObjectSpec, SceneSpec, generate_videos
+
+#: Number of frames per video used by the default dataset builders.  The
+#: evaluation datasets in the paper are tens of gigabytes; the reproduction
+#: keeps the same *relative* sizes across datasets while staying laptop-scale.
+DEFAULT_FRAMES_PER_VIDEO = 300
+DEFAULT_NUM_VIDEOS = 3
+
+
+def make_cityscapes(
+    num_videos: int = DEFAULT_NUM_VIDEOS,
+    frames_per_video: int = DEFAULT_FRAMES_PER_VIDEO,
+    seed: int = 0,
+) -> VideoDataset:
+    """Moving-camera urban street scene (pedestrians, cyclists, parked cars)."""
+    specs = (
+        # Distractors: ordinary traffic and pedestrians.
+        ObjectSpec("car", {"color": "grey"}, ("street",), ("driving",),
+                   size=(0.14, 0.10), speed=0.012, spawn_weight=1.8),
+        ObjectSpec("car", {"color": "blue"}, ("street",), ("parked",),
+                   size=(0.14, 0.10), speed=0.0, spawn_weight=1.0, max_age=110),
+        ObjectSpec("person", {"color": "dark", "clothing": "jacket"}, ("street",),
+                   ("standing",), size=(0.05, 0.12), speed=0.0, spawn_weight=1.2, max_age=90),
+        # Q1.1 target: a person walking on the street.
+        ObjectSpec("person", {"color": "grey", "clothing": "coat"}, ("street",),
+                   ("walking",), size=(0.05, 0.12), speed=0.004, spawn_weight=2.0, max_age=130),
+        # Q1.2 target: light-coloured clothing, walking, holding a dark bag.
+        ObjectSpec("person", {"color": "light", "clothing": "coat", "accessory": "dark bag"},
+                   ("street",), ("walking", "holding"),
+                   size=(0.05, 0.12), speed=0.004, spawn_weight=1.3, max_age=110),
+        # Q1.3 target: a person riding a bicycle.
+        ObjectSpec("person", {"color": "grey", "vehicle": "bicycle"}, ("street",),
+                   ("riding",), size=(0.06, 0.12), speed=0.008, spawn_weight=1.0),
+        # Q1.4 target: cyclist in a black t-shirt and blue jeans.
+        ObjectSpec("person", {"color": "black", "clothing": "black t-shirt",
+                              "legwear": "blue jeans", "vehicle": "bicycle"},
+                   ("street",), ("riding",),
+                   size=(0.06, 0.12), speed=0.008, spawn_weight=1.2),
+    )
+    scene = SceneSpec(
+        name="cityscapes",
+        object_specs=specs,
+        mean_objects=6.0,
+        camera="moving",
+        camera_speed=0.005,
+        background_color=(0.50, 0.50, 0.52),
+        spawn_rate=0.9,
+        default_max_age=90,
+    )
+    videos = generate_videos(scene, num_videos, frames_per_video, seed=seed)
+    return VideoDataset(
+        name="cityscapes",
+        videos=videos,
+        description="Synthetic stand-in for the Cityscapes Stuttgart dashcam sequence",
+        background_color=scene.background_color,
+    )
+
+
+def make_bellevue(
+    num_videos: int = DEFAULT_NUM_VIDEOS,
+    frames_per_video: int = DEFAULT_FRAMES_PER_VIDEO,
+    seed: int = 0,
+) -> VideoDataset:
+    """Fixed intersection camera with cars and buses (Bellevue Traffic)."""
+    specs = (
+        # Distractor traffic across several lanes.
+        ObjectSpec("car", {"color": "grey"}, ("road",), ("driving",),
+                   size=(0.13, 0.09), speed=0.014, spawn_weight=2.0),
+        ObjectSpec("car", {"color": "black", "size": "large"}, ("road",), ("driving",),
+                   size=(0.15, 0.10), speed=0.013, spawn_weight=1.5),
+        ObjectSpec("car", {"color": "white"}, ("road",), ("driving",),
+                   size=(0.13, 0.09), speed=0.014, spawn_weight=1.5),
+        ObjectSpec("person", {"color": "dark"}, ("sidewalk",), ("walking",),
+                   size=(0.04, 0.10), speed=0.003, spawn_weight=0.8),
+        # Q2.1 target: red car driving in the centre of the road.
+        ObjectSpec("car", {"color": "red"}, ("road", "center"), ("driving",),
+                   size=(0.13, 0.09), speed=0.013, spawn_weight=0.9, lane=0.5),
+        # Q2.2 target: red car side by side with another car in the centre.
+        ObjectSpec("car", {"color": "red"}, ("road", "center"), ("driving",),
+                   size=(0.13, 0.09), speed=0.013, spawn_weight=0.7, lane=0.5, paired=True),
+        # Q2.3 target: a bus driving on the road.
+        ObjectSpec("bus", {"color": "blue", "size": "large"}, ("road",), ("driving",),
+                   size=(0.22, 0.12), speed=0.010, spawn_weight=0.9),
+        # Q2.4 target: bus with a white roof and yellow-green body.
+        ObjectSpec("bus", {"color": "yellow-green", "roof": "white roof", "size": "large"},
+                   ("road",), ("driving",),
+                   size=(0.22, 0.12), speed=0.010, spawn_weight=0.8),
+    )
+    scene = SceneSpec(
+        name="bellevue",
+        object_specs=specs,
+        mean_objects=7.0,
+        camera="fixed",
+        background_color=(0.42, 0.42, 0.42),
+        spawn_rate=0.9,
+        default_max_age=90,
+    )
+    videos = generate_videos(scene, num_videos, frames_per_video, seed=seed)
+    return VideoDataset(
+        name="bellevue",
+        videos=videos,
+        description="Synthetic stand-in for the Bellevue Traffic intersection footage",
+        background_color=scene.background_color,
+    )
+
+
+def make_qvhighlights(
+    num_videos: int = DEFAULT_NUM_VIDEOS,
+    frames_per_video: int = DEFAULT_FRAMES_PER_VIDEO,
+    seed: int = 0,
+) -> VideoDataset:
+    """Moving-camera vlog-style scenes involving people and dogs inside cars."""
+    specs = (
+        # Distractors: people and objects in everyday settings.
+        ObjectSpec("person", {"color": "grey", "clothing": "shirt"}, ("room",),
+                   ("talking",), size=(0.10, 0.22), speed=0.002, spawn_weight=1.5, max_age=70),
+        ObjectSpec("car", {"color": "silver"}, ("road",), ("driving",),
+                   size=(0.18, 0.12), speed=0.008, spawn_weight=1.0),
+        ObjectSpec("dog", {"color": "brown"}, ("room",), ("sitting",),
+                   size=(0.08, 0.08), speed=0.001, spawn_weight=0.8, max_age=70),
+        # Q3.1 target: a woman smiling sitting inside a car.
+        ObjectSpec("woman", {"color": "grey", "expression": "smiling"}, ("car_interior",),
+                   ("sitting",), size=(0.12, 0.20), speed=0.001, spawn_weight=1.2, max_age=70),
+        # Q3.2 target: red-haired woman with a white dress sitting inside a car.
+        ObjectSpec("woman", {"color": "white", "hair": "red hair", "clothing": "white dress"},
+                   ("car_interior",), ("sitting",),
+                   size=(0.12, 0.20), speed=0.001, spawn_weight=1.0, max_age=70),
+        # Q3.3 target: a white dog inside a car.
+        ObjectSpec("dog", {"color": "white"}, ("car_interior",), ("sitting",),
+                   size=(0.08, 0.08), speed=0.001, spawn_weight=1.0, max_age=70),
+        # Q3.4 target: white dog inside a car next to a woman in black clothes;
+        # the paired spawn keeps the woman companion adjacent in every frame.
+        ObjectSpec("dog", {"color": "white"}, ("car_interior",), ("sitting",),
+                   size=(0.08, 0.08), speed=0.001, spawn_weight=1.0, paired=True, max_age=70,
+                   companion=ObjectSpec(
+                       "woman", {"color": "black", "clothing": "black clothes"},
+                       ("car_interior",), ("sitting",), size=(0.12, 0.20), speed=0.001,
+                   )),
+        ObjectSpec("woman", {"color": "black", "clothing": "black clothes"},
+                   ("car_interior",), ("sitting",),
+                   size=(0.12, 0.20), speed=0.001, spawn_weight=0.8, max_age=70),
+    )
+    scene = SceneSpec(
+        name="qvhighlights",
+        object_specs=specs,
+        mean_objects=5.0,
+        camera="moving",
+        camera_speed=0.003,
+        background_color=(0.55, 0.52, 0.48),
+        spawn_rate=0.9,
+        default_max_age=70,
+    )
+    videos = generate_videos(scene, num_videos, frames_per_video, seed=seed)
+    return VideoDataset(
+        name="qvhighlights",
+        videos=videos,
+        description="Synthetic stand-in for the selected QVHighlights YouTube videos",
+        background_color=scene.background_color,
+    )
+
+
+def make_beach(
+    num_videos: int = DEFAULT_NUM_VIDEOS,
+    frames_per_video: int = DEFAULT_FRAMES_PER_VIDEO,
+    seed: int = 0,
+) -> VideoDataset:
+    """Fixed sidewalk camera at a resort (buses, trucks, carts)."""
+    specs = (
+        # Distractors: pedestrians, carts, ordinary vehicles.
+        ObjectSpec("person", {"color": "light"}, ("sidewalk",), ("walking",),
+                   size=(0.04, 0.10), speed=0.003, spawn_weight=1.5, max_age=130),
+        ObjectSpec("car", {"color": "white"}, ("road",), ("driving",),
+                   size=(0.13, 0.09), speed=0.012, spawn_weight=1.5),
+        ObjectSpec("cart", {"color": "orange"}, ("sidewalk",), ("driving",),
+                   size=(0.08, 0.07), speed=0.006, spawn_weight=1.0),
+        ObjectSpec("bus", {"color": "white", "size": "large"}, ("road",), ("driving",),
+                   size=(0.22, 0.12), speed=0.009, spawn_weight=0.8),
+        # Q4.1 target: a green bus driving on the road.
+        ObjectSpec("bus", {"color": "green", "size": "large"}, ("road",), ("driving",),
+                   size=(0.22, 0.12), speed=0.009, spawn_weight=0.9),
+        # Q4.2 target: green bus with a white roof.
+        ObjectSpec("bus", {"color": "green", "roof": "white roof", "size": "large"},
+                   ("road",), ("driving",),
+                   size=(0.22, 0.12), speed=0.009, spawn_weight=0.8),
+        # Q4.3 target: a truck driving on the road.
+        ObjectSpec("truck", {"color": "grey", "size": "large"}, ("road",), ("driving",),
+                   size=(0.20, 0.12), speed=0.010, spawn_weight=0.8),
+        # Q4.4 target: a small white truck filled with cargo.
+        ObjectSpec("truck", {"color": "white", "size": "small", "load": "cargo"},
+                   ("road",), ("driving",),
+                   size=(0.14, 0.09), speed=0.010, spawn_weight=0.8),
+    )
+    scene = SceneSpec(
+        name="beach",
+        object_specs=specs,
+        mean_objects=6.0,
+        camera="fixed",
+        background_color=(0.80, 0.75, 0.60),
+        spawn_rate=0.9,
+        default_max_age=90,
+    )
+    videos = generate_videos(scene, num_videos, frames_per_video, seed=seed)
+    return VideoDataset(
+        name="beach",
+        videos=videos,
+        description="Synthetic stand-in for the Beach resort sidewalk footage",
+        background_color=scene.background_color,
+    )
+
+
+def make_activitynet_qa(
+    num_videos: int = DEFAULT_NUM_VIDEOS,
+    frames_per_video: int = DEFAULT_FRAMES_PER_VIDEO,
+    seed: int = 0,
+) -> VideoDataset:
+    """Everyday-activity scenes for the yes/no extension queries (Table VI)."""
+    specs = (
+        # Distractors.
+        ObjectSpec("person", {"color": "grey"}, ("room",), ("standing",),
+                   size=(0.10, 0.22), speed=0.002, spawn_weight=1.5, max_age=80),
+        ObjectSpec("car", {"color": "black"}, ("road",), ("driving",),
+                   size=(0.15, 0.10), speed=0.010, spawn_weight=1.0),
+        # EQ1 target: a car parked on the meadow.
+        ObjectSpec("car", {"color": "blue"}, ("meadow",), ("parked",),
+                   size=(0.15, 0.10), speed=0.0, spawn_weight=0.9, max_age=90),
+        # EQ2 target: a man wearing a hat.
+        ObjectSpec("man", {"color": "grey", "headwear": "hat"}, ("outdoors",),
+                   ("standing",), size=(0.10, 0.22), speed=0.002, spawn_weight=1.0, max_age=80),
+        # EQ3 target: a person in a red life jacket, outdoors.
+        ObjectSpec("person", {"color": "red", "clothing": "red life jacket"},
+                   ("outdoors", "water"), ("paddling",),
+                   size=(0.08, 0.16), speed=0.004, spawn_weight=0.9, max_age=90),
+        # EQ4 target: a person in a grey skirt dancing in a room.
+        ObjectSpec("person", {"color": "grey", "clothing": "grey skirt"},
+                   ("room",), ("dancing",),
+                   size=(0.10, 0.22), speed=0.003, spawn_weight=0.9, max_age=90),
+    )
+    scene = SceneSpec(
+        name="activitynet",
+        object_specs=specs,
+        mean_objects=5.0,
+        camera="moving",
+        camera_speed=0.003,
+        background_color=(0.50, 0.55, 0.45),
+        spawn_rate=0.9,
+        default_max_age=70,
+    )
+    videos = generate_videos(scene, num_videos, frames_per_video, seed=seed)
+    return VideoDataset(
+        name="activitynet",
+        videos=videos,
+        description="Synthetic stand-in for the selected ActivityNet-QA videos",
+        background_color=scene.background_color,
+    )
+
+
+_BUILDERS: Dict[str, Callable[..., VideoDataset]] = {
+    "cityscapes": make_cityscapes,
+    "bellevue": make_bellevue,
+    "qvhighlights": make_qvhighlights,
+    "beach": make_beach,
+    "activitynet": make_activitynet_qa,
+}
+
+
+def dataset_names() -> list[str]:
+    """Names of all available synthetic datasets."""
+    return list(_BUILDERS)
+
+
+def make_dataset(
+    name: str,
+    num_videos: int = DEFAULT_NUM_VIDEOS,
+    frames_per_video: int = DEFAULT_FRAMES_PER_VIDEO,
+    seed: int = 0,
+) -> VideoDataset:
+    """Build a dataset by name; raises :class:`VideoError` for unknown names."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError as error:
+        raise VideoError(
+            f"Unknown dataset {name!r}; available: {sorted(_BUILDERS)}"
+        ) from error
+    return builder(num_videos=num_videos, frames_per_video=frames_per_video, seed=seed)

@@ -1,0 +1,77 @@
+"""Tests for the global (whole-frame) encoder used by ZELDA and UMT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoders.clip_global import GlobalFrameEncoder
+from repro.encoders.concepts import ConceptSpace
+from repro.encoders.text import TextEncoder
+from repro.errors import EncodingError
+from repro.utils.geometry import BoundingBox
+from repro.video.model import Frame, ObjectAnnotation
+
+
+@pytest.fixture(scope="module")
+def space():
+    return ConceptSpace(dim=64, seed=7)
+
+
+def frame_with(objects, frame_id="v0/frame000000") -> Frame:
+    return Frame(frame_id=frame_id, video_id="v0", index=0, timestamp=0.0, objects=tuple(objects))
+
+
+def bus_annotation() -> ObjectAnnotation:
+    return ObjectAnnotation(
+        object_id="bus-1", category="bus", attributes={"color": "green"},
+        context=("road",), activity=("driving",), box=BoundingBox(0.2, 0.3, 0.5, 0.35),
+    )
+
+
+def dog_annotation() -> ObjectAnnotation:
+    return ObjectAnnotation(
+        object_id="dog-1", category="dog", attributes={"color": "white"},
+        context=("room",), activity=("sitting",), box=BoundingBox(0.45, 0.45, 0.06, 0.06),
+    )
+
+
+class TestGlobalFrameEncoder:
+    def test_unit_norm_output(self, space):
+        encoder = GlobalFrameEncoder(space, class_embedding_dim=32)
+        vector = encoder.encode_frame(frame_with([bus_annotation()]))
+        assert vector.shape == (32,)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_invalid_dim(self, space):
+        with pytest.raises(EncodingError):
+            GlobalFrameEncoder(space, class_embedding_dim=0)
+
+    def test_frame_matches_its_description(self, space):
+        encoder = GlobalFrameEncoder(space, class_embedding_dim=32)
+        text_encoder = TextEncoder(space, class_embedding_dim=32)
+        bus_frame = encoder.encode_frame(frame_with([bus_annotation()]))
+        dog_frame = encoder.encode_frame(frame_with([dog_annotation()], "v0/frame000001"))
+        bus_query = text_encoder.encode_full("a green bus driving on the road")
+        assert float(bus_query @ bus_frame) > float(bus_query @ dog_frame)
+
+    def test_large_objects_dominate(self, space):
+        encoder = GlobalFrameEncoder(space, class_embedding_dim=32, noise_scale=0.0)
+        text_encoder = TextEncoder(space, class_embedding_dim=32)
+        both = encoder.encode_frame(frame_with([bus_annotation(), dog_annotation()]))
+        bus_query = text_encoder.encode_full("a green bus")
+        dog_query = text_encoder.encode_full("a white dog")
+        assert float(bus_query @ both) > float(dog_query @ both)
+
+    def test_encode_frames_stacks(self, space):
+        encoder = GlobalFrameEncoder(space, class_embedding_dim=32)
+        frames = [frame_with([bus_annotation()]), frame_with([dog_annotation()], "v0/frame000001")]
+        matrix = encoder.encode_frames(frames)
+        assert matrix.shape == (2, 32)
+        assert encoder.encode_frames([]).shape == (0, 32)
+
+    def test_deterministic(self, space):
+        encoder = GlobalFrameEncoder(space, class_embedding_dim=32)
+        a = encoder.encode_frame(frame_with([bus_annotation()]))
+        b = encoder.encode_frame(frame_with([bus_annotation()]))
+        np.testing.assert_allclose(a, b)

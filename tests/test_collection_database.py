@@ -1,0 +1,184 @@
+"""Tests for the vector collection, database facade, and metadata store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import IndexConfig
+from repro.errors import (
+    CollectionExistsError,
+    CollectionNotFoundError,
+    MetadataError,
+    VectorDatabaseError,
+)
+from repro.utils.geometry import BoundingBox
+from repro.vectordb.collection import VectorCollection
+from repro.vectordb.database import VectorDatabase
+from repro.vectordb.metadata import FrameRecord, MetadataStore, PatchRecord
+
+
+def unit_vectors(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, dim))
+    return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+
+class TestVectorCollection:
+    def make(self, index_type="flat") -> VectorCollection:
+        config = IndexConfig(index_type=index_type, num_subspaces=4, num_centroids=8,
+                             num_coarse_clusters=4, nprobe=2)
+        return VectorCollection("patches", dim=16, config=config)
+
+    def test_insert_and_search(self):
+        collection = self.make()
+        vectors = unit_vectors(20, 16)
+        collection.insert([f"p{i}" for i in range(20)], vectors, [{"frame": i} for i in range(20)])
+        hits = collection.search(vectors[3], 5)
+        assert hits[0].id == "p3"
+        assert hits[0].metadata["frame"] == 3
+
+    def test_duplicate_ids_rejected(self):
+        collection = self.make()
+        collection.insert(["a"], unit_vectors(1, 16))
+        with pytest.raises(VectorDatabaseError):
+            collection.insert(["a"], unit_vectors(1, 16))
+
+    def test_dimension_mismatch_rejected(self):
+        collection = self.make()
+        with pytest.raises(VectorDatabaseError):
+            collection.insert(["a"], unit_vectors(1, 8))
+
+    def test_metadata_length_checked(self):
+        collection = self.make()
+        with pytest.raises(VectorDatabaseError):
+            collection.insert(["a", "b"], unit_vectors(2, 16), metadata=[{}])
+
+    def test_empty_collection_search(self):
+        assert self.make().search(np.ones(16), 3) == []
+
+    def test_exhaustive_search_matches_flat(self):
+        collection = self.make(index_type="ivfpq")
+        vectors = unit_vectors(64, 16)
+        collection.insert([f"p{i}" for i in range(64)], vectors)
+        exhaustive = collection.search_exhaustive(vectors[5], 1)
+        assert exhaustive[0].id == "p5"
+
+    def test_get_vector_and_metadata(self):
+        collection = self.make()
+        vectors = unit_vectors(3, 16)
+        collection.insert(["a", "b", "c"], vectors, [{"k": 1}, {"k": 2}, {"k": 3}])
+        np.testing.assert_allclose(collection.get_vector("b"), vectors[1])
+        assert collection.get_metadata("c")["k"] == 3
+        with pytest.raises(VectorDatabaseError):
+            collection.get_vector("missing")
+
+    def test_ids_and_counts(self):
+        collection = self.make()
+        collection.insert(["a", "b"], unit_vectors(2, 16))
+        assert collection.ids() == ["a", "b"]
+        assert collection.num_entities == 2
+        assert collection.storage_bytes() == 2 * 16 * 8
+
+    def test_invalid_construction(self):
+        with pytest.raises(VectorDatabaseError):
+            VectorCollection("", dim=8)
+        with pytest.raises(VectorDatabaseError):
+            VectorCollection("x", dim=0)
+
+    @pytest.mark.parametrize("index_type", ["flat", "ivfpq", "hnsw"])
+    def test_all_index_types_work(self, index_type):
+        collection = self.make(index_type=index_type)
+        vectors = unit_vectors(80, 16, seed=2)
+        collection.insert([f"p{i}" for i in range(80)], vectors)
+        collection.flush()
+        hits = collection.search(vectors[10], 5)
+        assert len(hits) == 5
+        assert any(hit.id == "p10" for hit in hits)
+
+
+class TestVectorDatabase:
+    def test_create_get_drop(self):
+        database = VectorDatabase()
+        collection = database.create_collection("a", dim=8)
+        assert database.get_collection("a") is collection
+        assert database.has_collection("a")
+        assert database.list_collections() == ["a"]
+        database.drop_collection("a")
+        assert not database.has_collection("a")
+
+    def test_duplicate_create_rejected(self):
+        database = VectorDatabase()
+        database.create_collection("a", dim=8)
+        with pytest.raises(CollectionExistsError):
+            database.create_collection("a", dim=8)
+
+    def test_missing_collection_errors(self):
+        database = VectorDatabase()
+        with pytest.raises(CollectionNotFoundError):
+            database.get_collection("nope")
+        with pytest.raises(CollectionNotFoundError):
+            database.drop_collection("nope")
+
+    def test_total_entities(self):
+        database = VectorDatabase()
+        collection = database.create_collection("a", dim=8, config=IndexConfig(index_type="flat"))
+        collection.insert(["x"], unit_vectors(1, 8))
+        assert database.total_entities() == 1
+
+
+class TestMetadataStore:
+    def patch(self, patch_id="f0/p0", frame_id="f0") -> PatchRecord:
+        return PatchRecord(
+            patch_id=patch_id,
+            frame_id=frame_id,
+            video_id="v0",
+            patch_index=0,
+            box=BoundingBox(0.1, 0.2, 0.3, 0.4),
+            objectness=0.5,
+        )
+
+    def test_round_trip_patch(self):
+        store = MetadataStore()
+        store.add_patches([self.patch()])
+        record = store.get_patch("f0/p0")
+        assert record.frame_id == "f0"
+        assert record.box.w == pytest.approx(0.3)
+
+    def test_missing_patch_raises(self):
+        with pytest.raises(MetadataError):
+            MetadataStore().get_patch("nope")
+
+    def test_patches_for_frame_ordered(self):
+        store = MetadataStore()
+        records = [
+            PatchRecord(f"f0/p{i}", "f0", "v0", i, BoundingBox(0, 0, 0.1, 0.1), 0.1)
+            for i in reversed(range(5))
+        ]
+        store.add_patches(records)
+        fetched = store.patches_for_frame("f0")
+        assert [record.patch_index for record in fetched] == list(range(5))
+
+    def test_frames_round_trip(self):
+        store = MetadataStore()
+        store.add_frames([FrameRecord("f0", "v0", 0, 0.0), FrameRecord("f1", "v0", 1, 0.033)])
+        assert store.count_frames() == 2
+        assert store.get_frame("f1").frame_index == 1
+        assert store.get_frame("missing") is None
+        assert [record.frame_id for record in store.list_frames()] == ["f0", "f1"]
+
+    def test_counts(self):
+        store = MetadataStore()
+        store.add_patches([self.patch(), self.patch("f0/p1")])
+        assert store.count_patches() == 2
+
+    def test_get_patches_preserves_order(self):
+        store = MetadataStore()
+        store.add_patches([self.patch("a"), self.patch("b")])
+        records = store.get_patches(["b", "a"])
+        assert [record.patch_id for record in records] == ["b", "a"]
+
+    def test_context_manager_closes(self, tmp_path):
+        with MetadataStore(tmp_path / "meta.db") as store:
+            store.add_patches([self.patch()])
+            assert store.count_patches() == 1

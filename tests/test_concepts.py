@@ -1,0 +1,114 @@
+"""Tests for the shared concept vector space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoders.concepts import ConceptSpace
+from repro.errors import EncodingError
+
+concept_names = st.sampled_from(
+    ["car", "bus", "person", "woman", "red", "green", "road", "driving", "dog"]
+)
+
+
+class TestConceptVectors:
+    def setup_method(self):
+        self.space = ConceptSpace(dim=64, seed=7)
+
+    def test_vectors_unit_norm(self):
+        for concept in ["car", "red", "road", "unknown-token"]:
+            assert np.linalg.norm(self.space.vector(concept)) == pytest.approx(1.0)
+
+    def test_vectors_deterministic_across_instances(self):
+        other = ConceptSpace(dim=64, seed=7)
+        np.testing.assert_allclose(self.space.vector("car"), other.vector("car"))
+
+    def test_seed_changes_vectors(self):
+        other = ConceptSpace(dim=64, seed=8)
+        assert not np.allclose(self.space.vector("car"), other.vector("car"))
+
+    def test_child_closer_to_parent_than_unrelated(self):
+        woman_person = float(self.space.vector("woman") @ self.space.vector("person"))
+        woman_road = float(self.space.vector("woman") @ self.space.vector("road"))
+        assert woman_person > woman_road + 0.2
+
+    def test_siblings_share_parent_similarity(self):
+        car_bus = float(self.space.vector("car") @ self.space.vector("bus"))
+        car_red = float(self.space.vector("car") @ self.space.vector("red"))
+        assert car_bus > car_red
+
+    def test_invalid_dim(self):
+        with pytest.raises(EncodingError):
+            ConceptSpace(dim=0)
+
+
+class TestEncoding:
+    def setup_method(self):
+        self.space = ConceptSpace(dim=64, seed=7)
+
+    def test_encode_empty_is_zero(self):
+        assert np.linalg.norm(self.space.encode([])) == 0.0
+
+    def test_encode_normalised(self):
+        vector = self.space.encode(["car", "red", "road"])
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_encode_unnormalised(self):
+        vector = self.space.encode(["car", "red"], normalize=False)
+        assert np.linalg.norm(vector) > 1.0
+
+    def test_weights_change_mixture(self):
+        plain = self.space.encode(["car", "red"])
+        weighted = self.space.encode(["car", "red"], weights={"car": 3.0})
+        assert float(weighted @ self.space.vector("car")) > float(plain @ self.space.vector("car"))
+
+    def test_similarity_reflects_shared_concepts(self):
+        same = self.space.similarity(["red", "car"], ["red", "car"])
+        related = self.space.similarity(["red", "car"], ["grey", "car"])
+        unrelated = self.space.similarity(["red", "car"], ["dog", "room"])
+        assert same == pytest.approx(1.0)
+        assert same > related > unrelated
+
+    @given(tokens=st.lists(concept_names, min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_always_unit_norm(self, tokens):
+        vector = ConceptSpace(dim=32, seed=3).encode(tokens)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_batch_vectors_shape(self):
+        matrix = self.space.batch_vectors(["car", "bus", "dog"])
+        assert matrix.shape == (3, 64)
+
+    def test_batch_vectors_empty(self):
+        assert self.space.batch_vectors([]).shape == (0, 64)
+
+
+class TestProjection:
+    def setup_method(self):
+        self.space = ConceptSpace(dim=64, seed=7)
+
+    def test_projection_shape(self):
+        matrix = self.space.projection_matrix(32)
+        assert matrix.shape == (32, 64)
+
+    def test_projection_rows_orthonormal(self):
+        matrix = self.space.projection_matrix(16)
+        gram = matrix @ matrix.T
+        np.testing.assert_allclose(gram, np.eye(16), atol=1e-8)
+
+    def test_projection_preserves_similarity_ordering(self):
+        projection = self.space.projection_matrix(32)
+        red_car = projection @ self.space.encode(["red", "car"])
+        query = projection @ self.space.encode(["red", "car", "road"])
+        grey_dog = projection @ self.space.encode(["grey", "dog"])
+        assert float(query @ red_car) > float(query @ grey_dog)
+
+    def test_projection_invalid_dim(self):
+        with pytest.raises(EncodingError):
+            self.space.projection_matrix(0)
+        with pytest.raises(EncodingError):
+            self.space.projection_matrix(128)

@@ -1,0 +1,104 @@
+"""Validation tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    EncoderConfig,
+    IndexConfig,
+    KeyframeConfig,
+    LOVOConfig,
+    QueryConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEncoderConfig:
+    def test_defaults_valid(self):
+        config = EncoderConfig()
+        assert config.embedding_dim > config.class_embedding_dim
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(embedding_dim=0)
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(class_embedding_dim=0)
+
+    def test_rejects_class_dim_larger_than_embedding(self):
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(embedding_dim=32, class_embedding_dim=64)
+
+    def test_rejects_bad_grid_and_noise(self):
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(patch_grid=0)
+        with pytest.raises(ConfigurationError):
+            EncoderConfig(noise_scale=-0.1)
+
+
+class TestKeyframeConfig:
+    def test_valid_strategies(self):
+        for strategy in ("mvmed", "uniform", "content", "all"):
+            assert KeyframeConfig(strategy=strategy).strategy == strategy
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeyframeConfig(strategy="magic")
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeyframeConfig(uniform_stride=0)
+
+
+class TestIndexConfig:
+    def test_defaults(self):
+        config = IndexConfig()
+        assert config.index_type == "ivfpq"
+
+    def test_unknown_index_type(self):
+        with pytest.raises(ConfigurationError):
+            IndexConfig(index_type="faiss")
+
+    def test_nprobe_bounds(self):
+        with pytest.raises(ConfigurationError):
+            IndexConfig(num_coarse_clusters=4, nprobe=8)
+
+    def test_bad_quantization_params(self):
+        with pytest.raises(ConfigurationError):
+            IndexConfig(num_subspaces=0)
+        with pytest.raises(ConfigurationError):
+            IndexConfig(num_centroids=1)
+
+
+class TestQueryConfig:
+    def test_defaults(self):
+        config = QueryConfig()
+        assert config.rerank_enabled and config.ann_enabled
+
+    def test_bad_depths(self):
+        with pytest.raises(ConfigurationError):
+            QueryConfig(fast_search_k=0)
+        with pytest.raises(ConfigurationError):
+            QueryConfig(rerank_n=0)
+        with pytest.raises(ConfigurationError):
+            QueryConfig(max_candidate_frames=0)
+
+    def test_bad_iou_threshold(self):
+        with pytest.raises(ConfigurationError):
+            QueryConfig(iou_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            QueryConfig(iou_threshold=1.0)
+
+
+class TestLOVOConfig:
+    def test_with_overrides_replaces_only_given_parts(self):
+        base = LOVOConfig()
+        updated = base.with_overrides(query=QueryConfig(rerank_enabled=False))
+        assert updated.query.rerank_enabled is False
+        assert updated.encoder is base.encoder
+        assert updated.index is base.index
+
+    def test_default_composition(self):
+        config = LOVOConfig()
+        assert config.index.index_type == "ivfpq"
+        assert config.keyframes.strategy == "mvmed"

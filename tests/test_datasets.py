@@ -1,0 +1,87 @@
+"""Tests for the synthetic stand-ins of the paper's evaluation datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VideoError
+from repro.eval.workloads import build_ground_truth, queries_for_dataset
+from repro.video.datasets import (
+    dataset_names,
+    make_activitynet_qa,
+    make_beach,
+    make_bellevue,
+    make_cityscapes,
+    make_dataset,
+    make_qvhighlights,
+)
+
+
+class TestBuilders:
+    def test_dataset_names_cover_all_builders(self):
+        assert set(dataset_names()) == {
+            "cityscapes", "bellevue", "qvhighlights", "beach", "activitynet"
+        }
+
+    def test_make_dataset_dispatch(self):
+        dataset = make_dataset("beach", num_videos=1, frames_per_video=30)
+        assert dataset.name == "beach"
+        assert dataset.num_frames == 30
+
+    def test_make_dataset_unknown_name(self):
+        with pytest.raises(VideoError):
+            make_dataset("kitti")
+
+    def test_camera_regimes_match_paper(self):
+        assert make_bellevue(1, 30).videos[0].camera == "fixed"
+        assert make_beach(1, 30).videos[0].camera == "fixed"
+        assert make_cityscapes(1, 30).videos[0].camera == "moving"
+        assert make_qvhighlights(1, 30).videos[0].camera == "moving"
+
+    def test_determinism_across_calls(self):
+        first = make_bellevue(1, 60)
+        second = make_bellevue(1, 60)
+        assert [len(f.objects) for f in first.iter_frames()] == [
+            len(f.objects) for f in second.iter_frames()
+        ]
+
+    def test_seed_changes_content(self):
+        first = make_bellevue(1, 60, seed=0)
+        second = make_bellevue(1, 60, seed=1)
+        assert [len(f.objects) for f in first.iter_frames()] != [
+            len(f.objects) for f in second.iter_frames()
+        ]
+
+    @pytest.mark.parametrize(
+        "builder, expected_categories",
+        [
+            (make_bellevue, {"car", "bus"}),
+            (make_beach, {"bus", "truck"}),
+            (make_cityscapes, {"person"}),
+            (make_qvhighlights, {"woman", "dog"}),
+            (make_activitynet_qa, {"person"}),
+        ],
+    )
+    def test_expected_categories_present(self, builder, expected_categories):
+        dataset = builder(num_videos=2, frames_per_video=200)
+        assert expected_categories <= set(dataset.categories())
+
+
+class TestGroundTruthAvailability:
+    """Every query of Table II / Table VI must have ground truth in its
+    default dataset — otherwise the accuracy experiments are ill-posed."""
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_default_datasets_contain_targets_for_all_queries(self, name):
+        dataset = make_dataset(name)
+        for spec in queries_for_dataset(name):
+            ground_truth = build_ground_truth(dataset, spec)
+            assert ground_truth, f"No ground truth for {spec.query_id} in {name}"
+
+    def test_ground_truth_boxes_are_clipped(self):
+        dataset = make_bellevue(num_videos=1, frames_per_video=120)
+        for spec in queries_for_dataset("bellevue"):
+            for instance in build_ground_truth(dataset, spec):
+                for box in instance.boxes.values():
+                    assert 0.0 <= box.x and box.x2 <= 1.0 + 1e-9
+                    assert 0.0 <= box.y and box.y2 <= 1.0 + 1e-9

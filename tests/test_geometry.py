@@ -1,0 +1,197 @@
+"""Unit and property tests for bounding-box geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.geometry import (
+    BoundingBox,
+    box_in_center_region,
+    box_inside,
+    box_next_to,
+    boxes_side_by_side,
+    clip_unit,
+    iou,
+    iou_matrix,
+    merge_boxes,
+    pairwise_center_distance,
+)
+
+boxes = st.builds(
+    BoundingBox,
+    x=st.floats(-0.5, 1.5),
+    y=st.floats(-0.5, 1.5),
+    w=st.floats(0.0, 1.0),
+    h=st.floats(0.0, 1.0),
+)
+
+
+class TestBoundingBox:
+    def test_basic_properties(self):
+        box = BoundingBox(0.1, 0.2, 0.3, 0.4)
+        assert box.x2 == pytest.approx(0.4)
+        assert box.y2 == pytest.approx(0.6)
+        assert box.area == pytest.approx(0.12)
+        assert box.center == (pytest.approx(0.25), pytest.approx(0.4))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, -0.1, 0.1)
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 0.1, -0.1)
+
+    def test_from_center_round_trip(self):
+        box = BoundingBox.from_center(0.5, 0.5, 0.2, 0.1)
+        assert box.center == (pytest.approx(0.5), pytest.approx(0.5))
+        assert box.w == pytest.approx(0.2)
+
+    def test_from_array_and_to_array(self):
+        box = BoundingBox.from_array([0.1, 0.2, 0.3, 0.4])
+        np.testing.assert_allclose(box.to_array(), [0.1, 0.2, 0.3, 0.4])
+
+    def test_from_array_wrong_length(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_array([0.1, 0.2, 0.3])
+
+    def test_clipped_stays_in_unit_square(self):
+        box = BoundingBox(-0.2, 0.9, 0.5, 0.5)
+        clipped = box.clipped()
+        assert clipped.x >= 0.0 and clipped.y >= 0.0
+        assert clipped.x2 <= 1.0 and clipped.y2 <= 1.0
+
+    def test_shifted_and_scaled(self):
+        box = BoundingBox(0.2, 0.2, 0.2, 0.2)
+        shifted = box.shifted(0.1, -0.1)
+        assert shifted.x == pytest.approx(0.3)
+        assert shifted.y == pytest.approx(0.1)
+        scaled = box.scaled(2.0)
+        assert scaled.w == pytest.approx(0.4)
+        assert scaled.center == (pytest.approx(0.3), pytest.approx(0.3))
+
+    def test_contains_point(self):
+        box = BoundingBox(0.2, 0.2, 0.2, 0.2)
+        assert box.contains_point(0.3, 0.3)
+        assert not box.contains_point(0.5, 0.5)
+
+    def test_overlap_fraction(self):
+        outer = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        inner = BoundingBox(0.0, 0.0, 0.5, 0.5)
+        assert inner.overlap_fraction(outer) == pytest.approx(1.0)
+        assert outer.overlap_fraction(inner) == pytest.approx(0.25)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        box = BoundingBox(0.1, 0.1, 0.2, 0.2)
+        assert iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = BoundingBox(0.0, 0.0, 0.1, 0.1)
+        b = BoundingBox(0.5, 0.5, 0.1, 0.1)
+        assert iou(a, b) == 0.0
+
+    def test_half_overlap(self):
+        a = BoundingBox(0.0, 0.0, 0.2, 0.2)
+        b = BoundingBox(0.1, 0.0, 0.2, 0.2)
+        assert iou(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_degenerate_boxes(self):
+        a = BoundingBox(0.0, 0.0, 0.0, 0.0)
+        b = BoundingBox(0.0, 0.0, 0.1, 0.1)
+        assert iou(a, b) == 0.0
+
+    def test_iou_matrix_shape_and_values(self):
+        a = [BoundingBox(0, 0, 0.2, 0.2), BoundingBox(0.5, 0.5, 0.2, 0.2)]
+        b = [BoundingBox(0, 0, 0.2, 0.2)]
+        matrix = iou_matrix(a, b)
+        assert matrix.shape == (2, 1)
+        assert matrix[0, 0] == pytest.approx(1.0)
+        assert matrix[1, 0] == 0.0
+
+    @given(a=boxes, b=boxes)
+    @settings(max_examples=100, deadline=None)
+    def test_iou_symmetric_and_bounded(self, a, b):
+        forward = iou(a, b)
+        backward = iou(b, a)
+        assert forward == pytest.approx(backward)
+        assert 0.0 <= forward <= 1.0 + 1e-9
+
+    @given(box=boxes)
+    @settings(max_examples=100, deadline=None)
+    def test_self_iou_is_one_for_positive_area(self, box):
+        if box.w > 1e-6 and box.h > 1e-6:
+            assert iou(box, box) == pytest.approx(1.0)
+
+    @given(box=boxes)
+    @settings(max_examples=100, deadline=None)
+    def test_clipped_is_inside_unit_square(self, box):
+        clipped = box.clipped()
+        assert -1e-9 <= clipped.x <= 1.0 + 1e-9
+        assert -1e-9 <= clipped.y <= 1.0 + 1e-9
+        assert clipped.x2 <= 1.0 + 1e-9
+        assert clipped.y2 <= 1.0 + 1e-9
+
+
+class TestSpatialRelations:
+    def test_side_by_side_true(self):
+        a = BoundingBox.from_center(0.4, 0.5, 0.1, 0.08)
+        b = BoundingBox.from_center(0.55, 0.5, 0.1, 0.08)
+        assert boxes_side_by_side(a, b)
+
+    def test_side_by_side_false_when_far(self):
+        a = BoundingBox.from_center(0.1, 0.5, 0.1, 0.08)
+        b = BoundingBox.from_center(0.9, 0.5, 0.1, 0.08)
+        assert not boxes_side_by_side(a, b)
+
+    def test_side_by_side_false_when_vertically_offset(self):
+        a = BoundingBox.from_center(0.4, 0.2, 0.1, 0.08)
+        b = BoundingBox.from_center(0.5, 0.7, 0.1, 0.08)
+        assert not boxes_side_by_side(a, b)
+
+    def test_center_region(self):
+        assert box_in_center_region(BoundingBox.from_center(0.5, 0.5, 0.1, 0.1))
+        assert not box_in_center_region(BoundingBox.from_center(0.05, 0.05, 0.1, 0.1))
+
+    def test_next_to(self):
+        a = BoundingBox.from_center(0.4, 0.5, 0.1, 0.1)
+        b = BoundingBox.from_center(0.5, 0.5, 0.1, 0.1)
+        assert box_next_to(a, b)
+        far = BoundingBox.from_center(0.95, 0.1, 0.05, 0.05)
+        assert not box_next_to(a, far)
+
+    def test_inside(self):
+        outer = BoundingBox(0.2, 0.2, 0.6, 0.6)
+        inner = BoundingBox(0.3, 0.3, 0.1, 0.1)
+        assert box_inside(inner, outer)
+        assert not box_inside(outer, inner)
+
+
+class TestHelpers:
+    def test_clip_unit(self):
+        assert clip_unit(-0.5) == 0.0
+        assert clip_unit(0.25) == 0.25
+        assert clip_unit(1.5) == 1.0
+
+    def test_merge_boxes(self):
+        merged = merge_boxes([BoundingBox(0, 0, 0.2, 0.2), BoundingBox(0.5, 0.5, 0.2, 0.2)])
+        assert merged.x == 0.0 and merged.y == 0.0
+        assert merged.x2 == pytest.approx(0.7)
+        assert merged.y2 == pytest.approx(0.7)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_boxes([])
+
+    def test_pairwise_center_distance(self):
+        distances = pairwise_center_distance(
+            [BoundingBox.from_center(0, 0, 0.1, 0.1), BoundingBox.from_center(1, 0, 0.1, 0.1)]
+        )
+        assert distances.shape == (2, 2)
+        assert distances[0, 1] == pytest.approx(1.0)
+        assert distances[0, 0] == 0.0
+
+    def test_pairwise_center_distance_empty(self):
+        assert pairwise_center_distance([]).shape == (0, 0)

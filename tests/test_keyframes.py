@@ -1,0 +1,97 @@
+"""Tests for the key-frame extraction strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KeyframeConfig
+from repro.keyframes import (
+    AllFramesExtractor,
+    ContentDiffKeyframeExtractor,
+    MVMedKeyframeExtractor,
+    UniformKeyframeExtractor,
+    make_extractor,
+)
+from repro.video.datasets import make_bellevue
+
+
+@pytest.fixture(scope="module")
+def video():
+    return make_bellevue(num_videos=1, frames_per_video=90).videos[0]
+
+
+class TestUniform:
+    def test_stride_selection(self, video):
+        frames = UniformKeyframeExtractor(stride=10).extract(video)
+        assert [frame.index for frame in frames] == list(range(0, 90, 10))
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            UniformKeyframeExtractor(stride=0)
+
+    def test_all_frames(self, video):
+        assert len(AllFramesExtractor().extract(video)) == video.num_frames
+
+
+class TestContentDiff:
+    def test_returns_subset_including_first(self, video):
+        frames = ContentDiffKeyframeExtractor(threshold=0.02).extract(video)
+        assert frames
+        assert frames[0].index == 0
+        assert len(frames) <= video.num_frames
+
+    def test_higher_threshold_fewer_keyframes(self, video):
+        low = ContentDiffKeyframeExtractor(threshold=0.01).extract(video)
+        high = ContentDiffKeyframeExtractor(threshold=0.2).extract(video)
+        assert len(high) <= len(low)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ContentDiffKeyframeExtractor(threshold=0.0)
+
+    def test_empty_video(self):
+        from repro.video.model import Video
+        empty = Video(video_id="v", frames=[])
+        assert ContentDiffKeyframeExtractor().extract(empty) == []
+
+
+class TestMVMed:
+    def test_returns_subset_in_order(self, video):
+        frames = MVMedKeyframeExtractor(fallback_stride=15).extract(video)
+        indices = [frame.index for frame in frames]
+        assert indices == sorted(indices)
+        assert indices[0] == 0
+        assert len(frames) < video.num_frames
+
+    def test_min_gap_respected(self, video):
+        frames = MVMedKeyframeExtractor(min_gap=5, fallback_stride=15).extract(video)
+        indices = [frame.index for frame in frames]
+        gaps = [b - a for a, b in zip(indices, indices[1:])]
+        assert all(gap >= 5 for gap in gaps)
+
+    def test_fallback_prevents_starvation(self, video):
+        frames = MVMedKeyframeExtractor(motion_threshold=100.0, fallback_stride=20).extract(video)
+        indices = [frame.index for frame in frames]
+        assert max(b - a for a, b in zip(indices, indices[1:])) <= 25
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MVMedKeyframeExtractor(motion_threshold=0.0)
+        with pytest.raises(ValueError):
+            MVMedKeyframeExtractor(fallback_stride=0)
+
+
+class TestFactory:
+    def test_factory_dispatch(self):
+        assert isinstance(make_extractor(KeyframeConfig(strategy="uniform")), UniformKeyframeExtractor)
+        assert isinstance(make_extractor(KeyframeConfig(strategy="content")), ContentDiffKeyframeExtractor)
+        assert isinstance(make_extractor(KeyframeConfig(strategy="mvmed")), MVMedKeyframeExtractor)
+        assert isinstance(make_extractor(KeyframeConfig(strategy="all")), AllFramesExtractor)
+
+    def test_extract_many_concatenates(self, video):
+        extractor = UniformKeyframeExtractor(stride=30)
+        frames = extractor.extract_many([video, video])
+        assert len(frames) == 2 * len(extractor.extract(video))
+
+    def test_name_property(self):
+        assert "Uniform" in UniformKeyframeExtractor().name

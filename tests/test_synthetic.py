@@ -1,0 +1,150 @@
+"""Tests for the procedural scene generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VideoError
+from repro.video.synthetic import (
+    ObjectSpec,
+    SceneSpec,
+    SyntheticVideoGenerator,
+    color_to_rgb,
+    generate_videos,
+)
+
+
+def simple_scene(camera: str = "fixed", **kwargs) -> SceneSpec:
+    specs = (
+        ObjectSpec("car", {"color": "red"}, ("road",), ("driving",), speed=0.01),
+        ObjectSpec("person", {"color": "dark"}, ("road",), ("walking",), speed=0.004),
+    )
+    return SceneSpec(name="test-scene", object_specs=specs, camera=camera, **kwargs)
+
+
+class TestSceneSpec:
+    def test_requires_object_specs(self):
+        with pytest.raises(VideoError):
+            SceneSpec(name="empty", object_specs=())
+
+    def test_rejects_unknown_camera(self):
+        with pytest.raises(VideoError):
+            simple_scene(camera="drone")
+
+
+class TestGenerator:
+    def test_generates_requested_frames(self):
+        video = SyntheticVideoGenerator(simple_scene()).generate("v0", 40)
+        assert video.num_frames == 40
+        assert video.frames[0].index == 0
+        assert video.frames[-1].index == 39
+
+    def test_deterministic_given_seed(self):
+        first = SyntheticVideoGenerator(simple_scene(), seed=3).generate("v0", 30)
+        second = SyntheticVideoGenerator(simple_scene(), seed=3).generate("v0", 30)
+        for f1, f2 in zip(first.frames, second.frames):
+            assert len(f1.objects) == len(f2.objects)
+            for o1, o2 in zip(f1.objects, f2.objects):
+                assert o1.object_id == o2.object_id
+                assert o1.box.to_array() == pytest.approx(o2.box.to_array())
+
+    def test_different_seeds_differ(self):
+        first = SyntheticVideoGenerator(simple_scene(), seed=1).generate("v0", 40)
+        second = SyntheticVideoGenerator(simple_scene(), seed=2).generate("v0", 40)
+        counts_first = [len(f.objects) for f in first.frames]
+        counts_second = [len(f.objects) for f in second.frames]
+        assert counts_first != counts_second or first.frames[-1].objects != second.frames[-1].objects
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(VideoError):
+            SyntheticVideoGenerator(simple_scene()).generate("v0", 0)
+
+    def test_objects_eventually_appear(self):
+        video = SyntheticVideoGenerator(simple_scene()).generate("v0", 80)
+        assert any(frame.visible_objects() for frame in video.frames)
+
+    def test_annotations_carry_spec_metadata(self):
+        video = SyntheticVideoGenerator(simple_scene()).generate("v0", 80)
+        seen_categories = {o.category for f in video.frames for o in f.objects}
+        assert seen_categories <= {"car", "person"}
+        for frame in video.frames:
+            for annotation in frame.objects:
+                assert annotation.context == ("road",)
+
+    def test_paired_spec_spawns_adjacent_companion(self):
+        specs = (
+            ObjectSpec("car", {"color": "red"}, speed=0.01, paired=True, spawn_weight=1.0),
+        )
+        scene = SceneSpec(name="paired", object_specs=specs, mean_objects=2.0, spawn_rate=1.0)
+        video = SyntheticVideoGenerator(scene).generate("v0", 30)
+        frame_with_two = next(
+            (f for f in video.frames if len(f.objects) >= 2), None
+        )
+        assert frame_with_two is not None
+        a, b = frame_with_two.objects[:2]
+        assert abs(a.box.center[1] - b.box.center[1]) < 0.05
+
+    def test_companion_spec_used_for_pairing(self):
+        companion = ObjectSpec("woman", {"color": "black"}, speed=0.001)
+        specs = (
+            ObjectSpec("dog", {"color": "white"}, speed=0.001, paired=True,
+                       companion=companion, spawn_weight=1.0),
+        )
+        scene = SceneSpec(name="pair2", object_specs=specs, mean_objects=2.0, spawn_rate=1.0)
+        video = SyntheticVideoGenerator(scene).generate("v0", 20)
+        categories = {o.category for f in video.frames for o in f.objects}
+        assert categories == {"dog", "woman"}
+
+    def test_max_age_retires_objects(self):
+        specs = (ObjectSpec("person", {}, speed=0.0, spawn_weight=1.0, max_age=5),)
+        scene = SceneSpec(name="aging", object_specs=specs, mean_objects=1.0, spawn_rate=1.0)
+        video = SyntheticVideoGenerator(scene).generate("v0", 60)
+        ids = {o.object_id for f in video.frames for o in f.objects}
+        assert len(ids) > 3
+
+    def test_moving_camera_records_offsets(self):
+        video = SyntheticVideoGenerator(simple_scene(camera="moving")).generate("v0", 30)
+        assert video.camera == "moving"
+        assert any(frame.camera_offset != (0.0, 0.0) for frame in video.frames)
+
+    def test_fixed_camera_offsets_zero(self):
+        video = SyntheticVideoGenerator(simple_scene()).generate("v0", 10)
+        assert all(frame.camera_offset == (0.0, 0.0) for frame in video.frames)
+
+    def test_generate_videos_helper(self):
+        videos = generate_videos(simple_scene(), num_videos=3, frames_per_video=10)
+        assert len(videos) == 3
+        assert {video.video_id for video in videos} == {
+            "test-scene-000", "test-scene-001", "test-scene-002"
+        }
+
+    @given(
+        mean_objects=st.floats(1.0, 8.0),
+        spawn_rate=st.floats(0.1, 1.0),
+        frames=st.integers(5, 60),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_generator_always_produces_valid_videos(self, mean_objects, spawn_rate, frames):
+        scene = SceneSpec(
+            name="prop",
+            object_specs=(ObjectSpec("car", {"color": "red"}, speed=0.01),),
+            mean_objects=mean_objects,
+            spawn_rate=spawn_rate,
+        )
+        video = SyntheticVideoGenerator(scene).generate("v0", frames)
+        assert video.num_frames == frames
+        for frame in video.frames:
+            for annotation in frame.objects:
+                clipped = annotation.box.clipped()
+                assert 0.0 <= clipped.x <= 1.0
+                assert clipped.area >= 0.0
+
+
+class TestColors:
+    def test_known_color(self):
+        assert color_to_rgb("red")[0] > 0.5
+
+    def test_unknown_color_defaults_to_grey(self):
+        assert color_to_rgb("turquoise") == (0.5, 0.5, 0.5)

@@ -1,0 +1,114 @@
+"""Tests for query parsing and the decoupled text encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoders.concepts import ConceptSpace
+from repro.encoders.text import ParsedQuery, QueryParser, TextEncoder
+from repro.encoders.vocabulary import default_vocabulary
+from repro.errors import QueryError
+from repro.eval.workloads import all_queries
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return QueryParser(default_vocabulary())
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    space = ConceptSpace(dim=64, seed=7)
+    return TextEncoder(space, class_embedding_dim=32)
+
+
+class TestParser:
+    def test_simple_category_query(self, parser):
+        parsed = parser.parse("car")
+        assert parsed.object_tokens == ("car",)
+        assert parsed.complexity == "simple"
+
+    def test_attribute_query(self, parser):
+        parsed = parser.parse("A red car driving on the road.")
+        assert set(parsed.object_tokens) >= {"red", "car", "driving", "road"}
+        assert parsed.complexity == "normal"
+
+    def test_relation_query_q22(self, parser):
+        parsed = parser.parse(
+            "A red car side by side with another car, both positioned in the center of the road."
+        )
+        assert "side by side" in parsed.relation_tokens
+        assert "center" in parsed.relation_tokens
+        assert "car" in parsed.companion_tokens
+        assert "red" in parsed.object_tokens
+        assert parsed.complexity == "complex"
+
+    def test_companion_query_q34(self, parser):
+        parsed = parser.parse("A white dog inside a car, next to a woman wearing black clothes.")
+        assert "dog" in parsed.object_tokens
+        assert "next to" in parsed.relation_tokens
+        assert "woman" in parsed.companion_tokens
+        assert "dog" not in parsed.companion_tokens
+
+    def test_suv_synonym_expansion(self, parser):
+        parsed = parser.parse("A black SUV driving in the intersection of the road.")
+        assert "car" in parsed.object_tokens
+        assert "large" in parsed.object_tokens
+        assert "intersection" in parsed.relation_tokens
+
+    def test_unknown_words_collected(self, parser):
+        parsed = parser.parse("a quantum zeppelin on the road")
+        assert "zeppelin" in parsed.unknown_words
+        assert "quantum" in parsed.unknown_words
+
+    def test_stop_words_ignored(self, parser):
+        parsed = parser.parse("a the car of an")
+        assert parsed.object_tokens == ("car",)
+        assert parsed.unknown_words == ()
+
+    def test_empty_query_rejected(self, parser):
+        with pytest.raises(QueryError):
+            parser.parse("   ")
+
+    def test_all_paper_queries_parse_with_object_tokens(self, parser):
+        for spec in all_queries():
+            parsed = parser.parse(spec.text)
+            assert parsed.object_tokens, f"{spec.query_id} produced no object tokens"
+
+    def test_complex_paper_queries_have_relations(self, parser):
+        by_id = {spec.query_id: spec for spec in all_queries()}
+        assert parser.parse(by_id["Q2.2"].text).complexity == "complex"
+        assert parser.parse(by_id["Q3.4"].text).complexity == "complex"
+
+
+class TestTextEncoder:
+    def test_encode_unit_norm(self, encoder):
+        vector = encoder.encode("A red car on the road")
+        assert vector.shape == (32,)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_encode_accepts_parsed_query(self, encoder):
+        parsed = encoder.parse("A red car on the road")
+        np.testing.assert_allclose(encoder.encode(parsed), encoder.encode("A red car on the road"))
+
+    def test_relations_do_not_change_fast_embedding(self, encoder):
+        without_relation = encoder.encode("A red car on the road")
+        with_relation = encoder.encode("A red car on the road in the center")
+        # "center" is a relation token: dropped by the fast-search encoder.
+        np.testing.assert_allclose(without_relation, with_relation)
+
+    def test_full_encoding_differs_when_relations_present(self, encoder):
+        fast = encoder.encode("A red car in the center of the road")
+        full = encoder.encode_full("A red car in the center of the road")
+        assert not np.allclose(fast, full)
+
+    def test_query_similarity_matches_intuition(self, encoder):
+        red_car = encoder.encode("a red car")
+        red_car_again = encoder.encode("a red car driving")
+        white_dog = encoder.encode("a white dog")
+        assert float(red_car @ red_car_again) > float(red_car @ white_dog)
+
+    def test_token_vectors_shape(self, encoder):
+        matrix = encoder.token_vectors(["car", "red"])
+        assert matrix.shape == (2, 64)

@@ -1,0 +1,90 @@
+"""Tests for the Kalman filter and ByteTrack-style tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tracking import ByteTracker, ConstantVelocityKalman, Detection
+from repro.utils.geometry import BoundingBox, iou
+
+
+class TestKalman:
+    def test_initial_state_matches_box(self):
+        box = BoundingBox.from_center(0.4, 0.5, 0.2, 0.1)
+        kalman = ConstantVelocityKalman(box)
+        estimate = kalman.current_box()
+        assert iou(estimate, box) > 0.99
+
+    def test_update_moves_toward_measurement(self):
+        kalman = ConstantVelocityKalman(BoundingBox.from_center(0.2, 0.5, 0.1, 0.1))
+        kalman.predict()
+        corrected = kalman.update(BoundingBox.from_center(0.3, 0.5, 0.1, 0.1))
+        assert 0.2 < corrected.center[0] <= 0.31
+
+    def test_learns_constant_velocity(self):
+        kalman = ConstantVelocityKalman(BoundingBox.from_center(0.1, 0.5, 0.1, 0.1))
+        for step in range(1, 10):
+            kalman.predict()
+            kalman.update(BoundingBox.from_center(0.1 + 0.02 * step, 0.5, 0.1, 0.1))
+        predicted = kalman.predict()
+        assert predicted.center[0] > 0.27
+
+    def test_box_sizes_stay_positive(self):
+        kalman = ConstantVelocityKalman(BoundingBox.from_center(0.5, 0.5, 0.01, 0.01))
+        for _ in range(20):
+            kalman.predict()
+        box = kalman.current_box()
+        assert box.w > 0 and box.h > 0
+
+
+class TestByteTracker:
+    def make_detection(self, x: float, score: float = 0.9, category: str = "car") -> Detection:
+        return Detection(box=BoundingBox.from_center(x, 0.5, 0.1, 0.1), score=score, category=category)
+
+    def test_single_object_keeps_one_track(self):
+        tracker = ByteTracker()
+        for step in range(10):
+            tracker.step(f"f{step}", [self.make_detection(0.2 + 0.01 * step)])
+        tracks = tracker.finish()
+        assert len(tracks) == 1
+        assert tracks[0].length == 10
+
+    def test_two_objects_two_tracks(self):
+        tracker = ByteTracker()
+        for step in range(8):
+            tracker.step(
+                f"f{step}",
+                [self.make_detection(0.2 + 0.01 * step), self.make_detection(0.7 - 0.01 * step)],
+            )
+        assert len(tracker.finish()) == 2
+
+    def test_low_confidence_rescues_track(self):
+        tracker = ByteTracker(high_threshold=0.5)
+        tracker.step("f0", [self.make_detection(0.3, score=0.9)])
+        tracker.step("f1", [self.make_detection(0.31, score=0.3)])
+        tracks = tracker.finish()
+        assert len(tracks) == 1
+        assert tracks[0].length == 2
+
+    def test_category_mismatch_spawns_new_track(self):
+        tracker = ByteTracker()
+        tracker.step("f0", [self.make_detection(0.3, category="car")])
+        tracker.step("f1", [self.make_detection(0.31, category="bus")])
+        assert len(tracker.finish()) == 2
+
+    def test_stale_tracks_are_retired(self):
+        tracker = ByteTracker(max_misses=2)
+        tracker.step("f0", [self.make_detection(0.3)])
+        for step in range(1, 6):
+            tracker.step(f"f{step}", [])
+        tracks = tracker.finish()
+        assert len(tracks) == 1
+        assert tracks[0].length == 1
+
+    def test_track_boxes_follow_object(self):
+        tracker = ByteTracker()
+        for step in range(12):
+            tracker.step(f"f{step}", [self.make_detection(0.2 + 0.02 * step)])
+        track = tracker.finish()[0]
+        last_box = track.boxes["f11"]
+        assert last_box.center[0] > 0.35

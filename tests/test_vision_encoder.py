@@ -1,0 +1,156 @@
+"""Tests for the patch grid, localization head, and vision encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EncoderConfig
+from repro.encoders.concepts import ConceptSpace
+from repro.encoders.localization import SimulatedBoxHead
+from repro.encoders.text import TextEncoder
+from repro.encoders.vision import PatchGrid, VisionEncoder
+from repro.errors import EncodingError
+from repro.utils.geometry import BoundingBox, iou
+from repro.video.model import Frame, ObjectAnnotation
+
+
+CONFIG = EncoderConfig(embedding_dim=64, class_embedding_dim=32, patch_grid=6)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return ConceptSpace(dim=64, seed=7)
+
+
+@pytest.fixture(scope="module")
+def encoder(space):
+    return VisionEncoder(space, CONFIG)
+
+
+def frame_with(objects) -> Frame:
+    return Frame(frame_id="v0/frame000000", video_id="v0", index=0, timestamp=0.0,
+                 objects=tuple(objects))
+
+
+def red_car(x: float = 0.35, y: float = 0.45) -> ObjectAnnotation:
+    return ObjectAnnotation(
+        object_id="car-red", category="car", attributes={"color": "red"},
+        context=("road",), activity=("driving",),
+        box=BoundingBox(x, y, 0.2, 0.15),
+    )
+
+
+def white_dog(x: float = 0.7, y: float = 0.2) -> ObjectAnnotation:
+    return ObjectAnnotation(
+        object_id="dog-white", category="dog", attributes={"color": "white"},
+        context=("room",), activity=("sitting",),
+        box=BoundingBox(x, y, 0.15, 0.15),
+    )
+
+
+class TestPatchGrid:
+    def test_anchor_count_and_coverage(self):
+        grid = PatchGrid(4)
+        anchors = grid.anchors()
+        assert len(anchors) == 16
+        assert sum(anchor.area for anchor in anchors) == pytest.approx(1.0)
+
+    def test_anchor_positions(self):
+        grid = PatchGrid(4)
+        first = grid.anchor(0)
+        last = grid.anchor(15)
+        assert (first.x, first.y) == (0.0, 0.0)
+        assert last.x2 == pytest.approx(1.0)
+        assert last.y2 == pytest.approx(1.0)
+
+    def test_invalid_grid_and_index(self):
+        with pytest.raises(EncodingError):
+            PatchGrid(0)
+        with pytest.raises(EncodingError):
+            PatchGrid(4).anchor(16)
+
+
+class TestBoxHead:
+    def test_predicts_object_box_for_covered_patch(self):
+        head = SimulatedBoxHead(noise_scale=0.0)
+        anchors = [BoundingBox(0.25, 0.25, 0.25, 0.25)]
+        target = BoundingBox(0.2, 0.2, 0.3, 0.3)
+        overlaps = np.array([[1.0]])
+        predicted = head.predict("f", anchors, [target], overlaps)[0]
+        assert iou(predicted, target) > 0.9
+
+    def test_background_patch_returns_anchor(self):
+        head = SimulatedBoxHead(noise_scale=0.0)
+        anchor = BoundingBox(0.0, 0.0, 0.25, 0.25)
+        predicted = head.predict("f", [anchor], [], np.zeros((1, 0)))[0]
+        assert iou(predicted, anchor) > 0.99
+
+    def test_noise_perturbs_but_preserves_location(self):
+        head = SimulatedBoxHead(noise_scale=0.01)
+        anchors = [BoundingBox(0.25, 0.25, 0.25, 0.25)]
+        target = BoundingBox(0.2, 0.2, 0.3, 0.3)
+        predicted = head.predict("f", anchors, [target], np.array([[1.0]]))[0]
+        assert iou(predicted, target) > 0.7
+
+
+class TestVisionEncoder:
+    def test_encoding_counts_and_shapes(self, encoder):
+        encodings = encoder.encode_frame(frame_with([red_car()]))
+        assert len(encodings) == CONFIG.patch_grid ** 2
+        for encoding in encodings:
+            assert encoding.embedding.shape == (64,)
+            assert encoding.class_embedding.shape == (32,)
+            assert np.linalg.norm(encoding.embedding) == pytest.approx(1.0)
+            assert np.linalg.norm(encoding.class_embedding) == pytest.approx(1.0)
+            assert 0.0 <= encoding.objectness <= 1.0
+
+    def test_patch_ids_unique_and_linked_to_frame(self, encoder):
+        encodings = encoder.encode_frame(frame_with([red_car()]))
+        ids = {encoding.patch_id for encoding in encodings}
+        assert len(ids) == len(encodings)
+        assert all(encoding.frame_id == "v0/frame000000" for encoding in encodings)
+
+    def test_deterministic(self, encoder, space):
+        first = encoder.encode_frame(frame_with([red_car()]))
+        second = VisionEncoder(space, CONFIG).encode_frame(frame_with([red_car()]))
+        np.testing.assert_allclose(first[10].embedding, second[10].embedding)
+
+    def test_object_patches_have_higher_objectness(self, encoder):
+        encodings = encoder.encode_frame(frame_with([red_car()]))
+        grid = encoder.grid
+        car_box = red_car().box
+        covered = [e for e in encodings if grid.anchor(e.patch_index).overlap_fraction(car_box) > 0.5]
+        background = [e for e in encodings if grid.anchor(e.patch_index).overlap_fraction(car_box) == 0.0]
+        assert covered and background
+        assert min(e.objectness for e in covered) > max(e.objectness for e in background)
+
+    def test_query_alignment_with_matching_object(self, encoder, space):
+        text_encoder = TextEncoder(space, class_embedding_dim=32)
+        query = text_encoder.encode("a red car driving on the road")
+        encodings = encoder.encode_frame(frame_with([red_car(), white_dog()]))
+        grid = encoder.grid
+        car_scores = [float(e.class_embedding @ query) for e in encodings
+                      if grid.anchor(e.patch_index).overlap_fraction(red_car().box) > 0.5]
+        dog_scores = [float(e.class_embedding @ query) for e in encodings
+                      if grid.anchor(e.patch_index).overlap_fraction(white_dog().box) > 0.5]
+        assert max(car_scores) > max(dog_scores)
+
+    def test_predicted_boxes_localise_dominant_object(self, encoder):
+        encodings = encoder.encode_frame(frame_with([red_car()]))
+        grid = encoder.grid
+        best = max(
+            encodings, key=lambda e: grid.anchor(e.patch_index).overlap_fraction(red_car().box)
+        )
+        assert iou(best.box, red_car().box) > 0.5
+
+    def test_encode_frames_concatenates(self, encoder):
+        frames = [frame_with([red_car()]),
+                  Frame(frame_id="v0/frame000001", video_id="v0", index=1, timestamp=0.03,
+                        objects=(white_dog(),))]
+        encodings = encoder.encode_frames(frames)
+        assert len(encodings) == 2 * CONFIG.patch_grid ** 2
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(EncodingError):
+            VisionEncoder(ConceptSpace(dim=32, seed=7), CONFIG)

@@ -1,0 +1,55 @@
+"""Tests for the concept vocabulary and synonym handling."""
+
+from __future__ import annotations
+
+from repro.encoders.vocabulary import (
+    default_vocabulary,
+    split_object_and_relation_tokens,
+)
+
+
+class TestVocabulary:
+    def setup_method(self):
+        self.vocabulary = default_vocabulary()
+
+    def test_known_concepts_present(self):
+        known = set(self.vocabulary.known_concepts())
+        for concept in ["car", "bus", "person", "woman", "red", "road", "side by side"]:
+            assert concept in known
+
+    def test_canonicalize_direct_concept(self):
+        assert self.vocabulary.canonicalize("car") == ("car",)
+
+    def test_canonicalize_synonym_suv(self):
+        assert set(self.vocabulary.canonicalize("SUV")) == {"car", "large"}
+
+    def test_canonicalize_phrase_synonym(self):
+        assert "car_interior" in self.vocabulary.canonicalize("inside a car")
+
+    def test_canonicalize_unknown(self):
+        assert self.vocabulary.canonicalize("zeppelin") == ()
+
+    def test_parents_hierarchy(self):
+        assert "person" in self.vocabulary.parents("woman")
+        assert "vehicle" in self.vocabulary.parents("car")
+        assert self.vocabulary.parents("red") == ()
+
+    def test_relation_concepts(self):
+        assert self.vocabulary.is_relation("side by side")
+        assert self.vocabulary.is_relation("center")
+        assert not self.vocabulary.is_relation("car")
+
+    def test_phrases_sorted_longest_first(self):
+        phrases = self.vocabulary.phrases()
+        lengths = [len(phrase.split()) for phrase in phrases]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_split_object_and_relation_tokens(self):
+        objects, relations = split_object_and_relation_tokens(
+            self.vocabulary, ["car", "red", "side by side", "center"]
+        )
+        assert objects == ["car", "red"]
+        assert relations == ["side by side", "center"]
+
+    def test_case_insensitive_canonicalization(self):
+        assert self.vocabulary.canonicalize("Red") == ("red",)

@@ -1,0 +1,130 @@
+"""Tests for the query workloads, experiment runner, and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import GroundTruthInstance
+from repro.eval.reporting import format_series, format_table, speedup_factors
+from repro.eval.runner import (
+    mean_average_precision,
+    mean_search_seconds,
+    run_queries,
+)
+from repro.eval.workloads import (
+    all_queries,
+    build_ground_truth,
+    motivation_queries,
+    queries_for_dataset,
+    query_by_id,
+)
+
+
+class TestWorkloads:
+    def test_all_queries_cover_tables(self):
+        ids = {spec.query_id for spec in all_queries()}
+        expected = {f"Q{i}.{j}" for i in range(1, 5) for j in range(1, 5)} | {
+            "EQ1", "EQ2", "EQ3", "EQ4"
+        }
+        assert ids == expected
+
+    def test_query_by_id(self):
+        spec = query_by_id("Q2.2")
+        assert "side by side" in spec.text
+        assert spec.dataset == "bellevue"
+        assert spec.complexity == "complex"
+
+    def test_query_by_id_unknown(self):
+        with pytest.raises(EvaluationError):
+            query_by_id("Q9.9")
+
+    def test_queries_for_dataset(self):
+        assert len(queries_for_dataset("beach")) == 4
+        assert all(spec.dataset == "beach" for spec in queries_for_dataset("beach"))
+
+    def test_ground_truth_grouped_by_instance(self, bellevue_small):
+        spec = query_by_id("Q2.1")
+        instances = build_ground_truth(bellevue_small, spec)
+        ids = [instance.object_id for instance in instances]
+        assert len(ids) == len(set(ids))
+        for instance in instances:
+            assert instance.num_frames >= 1
+
+    def test_restrict_to_frames(self, bellevue_small):
+        spec = query_by_id("Q2.1")
+        all_instances = build_ground_truth(bellevue_small, spec)
+        some_frame = next(iter(all_instances[0].boxes))
+        restricted = build_ground_truth(bellevue_small, spec, restrict_to_frames=[some_frame])
+        assert restricted
+        for instance in restricted:
+            assert set(instance.boxes) <= {some_frame}
+
+    def test_motivation_queries_levels(self):
+        levels = motivation_queries()
+        assert set(levels) == {"simple", "normal", "complex"}
+        assert all(levels.values())
+
+
+class TestRunner:
+    def test_run_queries_against_lovo(self, lovo_system, bellevue_small):
+        specs = queries_for_dataset("bellevue")[:2]
+        records = run_queries(lovo_system, "LOVO", bellevue_small, specs, ingest_seconds=1.0)
+        assert len(records) == 2
+        for record in records:
+            assert record.supported
+            assert 0.0 <= record.average_precision <= 1.0
+            assert record.total_seconds >= 1.0
+            assert record.search_seconds >= 0.0
+            assert record.num_ground_truth > 0
+            assert record.as_row()[0] == "LOVO"
+
+    def test_run_queries_marks_unsupported(self, bellevue_small):
+        from repro.baselines import VOCALBaseline
+
+        baseline = VOCALBaseline()
+        baseline.ingest(bellevue_small)
+        specs = [query_by_id("Q2.1")]
+        records = run_queries(baseline, "VOCAL", bellevue_small, specs)
+        assert records[0].supported is False
+        assert records[0].average_precision == 0.0
+        assert records[0].as_row()[2] == "unsupported"
+
+    def test_dataset_mismatch_rejected(self, lovo_system, bellevue_small):
+        with pytest.raises(EvaluationError):
+            run_queries(lovo_system, "LOVO", bellevue_small, [query_by_id("Q1.1")])
+
+    def test_ground_truth_cache_reused(self, lovo_system, bellevue_small):
+        cache: dict = {}
+        specs = [query_by_id("Q2.1")]
+        run_queries(lovo_system, "LOVO", bellevue_small, specs, ground_truth_cache=cache)
+        assert "Q2.1" in cache
+        # Second run must not rebuild (poison the cache to detect rebuilds).
+        cache["Q2.1"] = [GroundTruthInstance("fake", {"missing-frame": None})] if False else cache["Q2.1"]
+        records = run_queries(lovo_system, "LOVO", bellevue_small, specs, ground_truth_cache=cache)
+        assert records[0].num_ground_truth == len(cache["Q2.1"])
+
+    def test_mean_helpers(self):
+        assert mean_average_precision([]) == 0.0
+        assert mean_search_seconds([]) == 0.0
+
+
+class TestReporting:
+    def test_format_table_contains_cells(self):
+        table = format_table(["a", "bb"], [["x", 1], ["yy", 22]], title="T")
+        assert "T" in table
+        assert "yy" in table and "22" in table
+        lines = table.splitlines()
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("latency", {"a": 1.0, "b": 2.5}, unit="s")
+        assert "latency:" in text and "2.5000 s" in text
+
+    def test_speedup_factors(self):
+        factors = speedup_factors({"slow": 10.0, "fast": 1.0})
+        assert factors["slow"] == pytest.approx(1.0)
+        assert factors["fast"] == pytest.approx(10.0)
+
+    def test_speedup_factors_empty(self):
+        assert speedup_factors({}) == {}
