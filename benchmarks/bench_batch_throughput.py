@@ -1,0 +1,107 @@
+"""Batched multi-query throughput: ``query_batch`` vs a sequential loop.
+
+The paper's setting is many users querying one ingested video collection.
+This benchmark measures end-to-end queries/sec of LOVO's batched query engine
+against the same queries answered one ``query()`` call at a time, using the
+Table II workload tiled to the batch size (so, like a production queue, the
+batch contains repeated query strings).
+
+The flat-index configuration is the acceptance gate: at batch size 32 the
+batched engine must deliver at least 3x the sequential throughput.  The other
+index families are reported for completeness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro import LOVO
+from repro.eval.reporting import format_table
+from repro.eval.workloads import queries_for_dataset
+
+from conftest import bench_lovo_config, report
+
+BATCH_SIZE = 32
+ROUNDS = 3
+DATASET = "bellevue"
+#: A single moderately sized video keeps the benchmark CI-friendly while the
+#: index still holds thousands of patch vectors.
+NUM_VIDEOS = 1
+FRAMES_PER_VIDEO = 200
+
+
+def _tiled_queries(dataset_name: str, batch_size: int) -> List[str]:
+    """The dataset's Table II queries repeated up to ``batch_size``."""
+    texts = [spec.text for spec in queries_for_dataset(dataset_name)]
+    tiled = (texts * (batch_size // len(texts) + 1))[:batch_size]
+    return tiled
+
+
+def _ingested_system(bench_env, index_type: str) -> LOVO:
+    system = LOVO(bench_lovo_config(index_type))
+    system.ingest(bench_env.dataset(DATASET, NUM_VIDEOS, FRAMES_PER_VIDEO))
+    return system
+
+
+def _throughput(run, batch_size: int, rounds: int = ROUNDS) -> float:
+    """Best-of-``rounds`` queries/sec of ``run`` (a no-arg callable)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return batch_size / best
+
+
+def measure_index_type(bench_env, index_type: str) -> Dict[str, float]:
+    """Sequential and batched queries/sec for one index family."""
+    texts = _tiled_queries(DATASET, BATCH_SIZE)
+    sequential_system = _ingested_system(bench_env, index_type)
+    batched_system = _ingested_system(bench_env, index_type)
+
+    sequential_qps = _throughput(
+        lambda: [sequential_system.query(text) for text in texts], BATCH_SIZE
+    )
+    batched_qps = _throughput(lambda: batched_system.query_batch(texts), BATCH_SIZE)
+    return {
+        "sequential_qps": sequential_qps,
+        "batched_qps": batched_qps,
+        "speedup": batched_qps / sequential_qps,
+    }
+
+
+def run_batch_throughput(bench_env) -> Dict[str, Dict[str, float]]:
+    """Throughput comparison across all three index families."""
+    return {
+        index_type: measure_index_type(bench_env, index_type)
+        for index_type in ("flat", "ivfpq", "hnsw")
+    }
+
+
+def test_batch_throughput(benchmark, bench_env):
+    results = benchmark.pedantic(
+        run_batch_throughput, args=(bench_env,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            index_type,
+            f"{values['sequential_qps']:.1f}",
+            f"{values['batched_qps']:.1f}",
+            f"{values['speedup']:.1f}x",
+        ]
+        for index_type, values in results.items()
+    ]
+    table = format_table(
+        ["index", "sequential (q/s)", "batched (q/s)", "speedup"],
+        rows,
+        title=f"Batched query throughput (batch size {BATCH_SIZE}, {DATASET})",
+    )
+    report("batch_throughput", table)
+
+    # Acceptance gate: the batched engine is >= 3x sequential on the flat
+    # index, and never slower than sequential on any index family.
+    assert results["flat"]["speedup"] >= 3.0
+    for values in results.values():
+        assert values["speedup"] >= 1.0

@@ -11,7 +11,6 @@ import time
 from typing import Dict
 
 from repro import LOVO
-from repro.config import IndexConfig
 from repro.eval.metrics import evaluate_results
 from repro.eval.reporting import format_table
 from repro.eval.workloads import build_ground_truth, queries_for_dataset

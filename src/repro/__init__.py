@@ -19,11 +19,11 @@ from repro.config import (
     LOVOConfig,
     QueryConfig,
 )
-from repro.core.results import ObjectQueryResult, QueryResponse
+from repro.core.results import BatchQueryResponse, ObjectQueryResult, QueryResponse
 from repro.core.system import LOVO
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LOVO",
@@ -33,6 +33,7 @@ __all__ = [
     "IndexConfig",
     "QueryConfig",
     "QueryResponse",
+    "BatchQueryResponse",
     "ObjectQueryResult",
     "ReproError",
     "__version__",

@@ -23,7 +23,7 @@ from repro.core.results import ObjectQueryResult
 from repro.encoders.clip_global import GlobalFrameEncoder
 from repro.encoders.text import ParsedQuery
 from repro.encoders.vision import VisionEncoder
-from repro.video.model import Frame, VideoDataset
+from repro.video.model import VideoDataset
 
 
 @dataclass(frozen=True)

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
-
 from repro.baselines.base import BaselineSystem
 from repro.baselines.detectors import DetectionModel, burn_model_compute
 from repro.config import EncoderConfig

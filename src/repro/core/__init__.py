@@ -1,6 +1,6 @@
 """LOVO core: video summary, database storage, and the two-stage query strategy."""
 
-from repro.core.results import ObjectQueryResult, QueryResponse
+from repro.core.results import BatchQueryResponse, ObjectQueryResult, QueryResponse
 from repro.core.storage import LOVOStorage
 from repro.core.summary import SummaryOutput, VideoSummarizer
 from repro.core.system import LOVO
@@ -12,4 +12,5 @@ __all__ = [
     "LOVOStorage",
     "ObjectQueryResult",
     "QueryResponse",
+    "BatchQueryResponse",
 ]

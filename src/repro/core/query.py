@@ -14,20 +14,22 @@ boxes are returned.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.config import QueryConfig
-from repro.core.results import ObjectQueryResult, QueryResponse
+from repro.core.results import BatchQueryResponse, ObjectQueryResult, QueryResponse
 from repro.core.storage import LOVOStorage
 from repro.core.summary import VideoSummarizer
 from repro.encoders.cross_modal import (
     CandidatePatch,
     CrossModalityReranker,
     FrameCandidate,
+    RerankResult,
 )
 from repro.encoders.text import ParsedQuery, TextEncoder
 from repro.errors import QueryError
 from repro.utils.timing import PhaseTimer
+from repro.vectordb.collection import SearchHit
 from repro.video.model import Frame
 
 
@@ -79,20 +81,118 @@ class QueryStrategy:
         response.metadata["ann_enabled"] = self._config.ann_enabled
         return response
 
+    def query_batch(
+        self, texts: Sequence[str], top_n: int | None = None
+    ) -> BatchQueryResponse:
+        """Execute ``m`` complex object queries in one engine pass.
+
+        Stage 1 embeds every query with one vectorized text-encoder pass and
+        runs one multi-query ANN search.  Stage 2 reranks over the *union* of
+        the per-query candidate frames, so each distinct frame is re-encoded
+        exactly once no matter how many queries retrieved it — that sharing is
+        where the batch path beats ``m`` sequential :meth:`query` calls.  Each
+        query's hits and scores are identical to what a sequential call would
+        return.
+        """
+        timer = PhaseTimer()
+        parsed_list = [self._text_encoder.parse(text) for text in texts]
+        top_n = top_n or self._config.rerank_n
+        num_queries = len(parsed_list)
+        if num_queries == 0:
+            return BatchQueryResponse(metadata={"batch_size": 0})
+
+        # Duplicate query strings are answered once: the whole pipeline runs
+        # over the *unique* parsed queries and results fan back out by
+        # position.  Results are position-for-position identical to
+        # sequential calls because the pipeline is deterministic per query.
+        unique = list(dict.fromkeys(parsed_list))
+
+        with timer.phase("fast_search"):
+            query_matrix = self._text_encoder.encode_batch(unique)
+            hit_lists = self._storage.search_batch(
+                query_matrix, self._config.fast_search_k, use_ann=self._config.ann_enabled
+            )
+            grouped = {
+                parsed: self._group_hits(hits)
+                for parsed, hits in zip(unique, hit_lists)
+            }
+
+        results_by_query: Dict[ParsedQuery, List[ObjectQueryResult]] = {}
+        union: Dict[str, None] = {}
+        if self._config.rerank_enabled:
+            with timer.phase("rerank"):
+                for candidate_frames, _ in grouped.values():
+                    for frame_id in candidate_frames:
+                        union.setdefault(frame_id, None)
+                # Each distinct candidate frame is re-encoded exactly once for
+                # the whole batch, no matter how many queries retrieved it.
+                shared = {
+                    frame_id: self._frame_candidate(frame_id) for frame_id in union
+                }
+                for parsed in unique:
+                    candidate_frames, patch_hits = grouped[parsed]
+                    if not candidate_frames:
+                        results_by_query[parsed] = self._results_from_fast_search(
+                            patch_hits, top_n
+                        )
+                        continue
+                    candidates = [shared[frame_id] for frame_id in candidate_frames]
+                    reranked = self._reranker.rerank(parsed, candidates, top_n=top_n)
+                    results_by_query[parsed] = self._results_from_rerank(reranked)
+        else:
+            for parsed in unique:
+                _, patch_hits = grouped[parsed]
+                results_by_query[parsed] = self._results_from_fast_search(patch_hits, top_n)
+
+        batch_timings = timer.as_dict()
+        share = {phase: seconds / num_queries for phase, seconds in batch_timings.items()}
+        responses: List[QueryResponse] = []
+        for text, parsed in zip(texts, parsed_list):
+            candidate_frames, _ = grouped[parsed]
+            response = QueryResponse(
+                query=text,
+                results=list(results_by_query[parsed]),
+                timings=dict(share),
+            )
+            response.metadata["parsed"] = parsed
+            response.metadata["num_candidates"] = len(candidate_frames)
+            response.metadata["rerank_enabled"] = self._config.rerank_enabled
+            response.metadata["ann_enabled"] = self._config.ann_enabled
+            response.metadata["batched"] = True
+            responses.append(response)
+        return BatchQueryResponse(
+            queries=list(texts),
+            responses=responses,
+            timings=batch_timings,
+            metadata={
+                "batch_size": num_queries,
+                "num_unique_queries": len(unique),
+                "num_unique_candidate_frames": len(union),
+                "rerank_enabled": self._config.rerank_enabled,
+                "ann_enabled": self._config.ann_enabled,
+            },
+        )
+
     def _fast_search(
         self, parsed: ParsedQuery
     ) -> Tuple[List[str], List[Tuple[str, float]]]:
-        """Stage 1: ANN top-k patches, grouped into candidate frames.
-
-        The patch hits are grouped into distinct key frames (keeping each
-        frame's best score), and the number of candidate frames handed to the
-        rerank stage is capped so rerank cost stays bounded regardless of how
-        large the indexed dataset is.
-        """
+        """Stage 1: ANN top-k patches, grouped into candidate frames."""
         query_vector = self._text_encoder.encode(parsed)
         hits = self._storage.search(
             query_vector, self._config.fast_search_k, use_ann=self._config.ann_enabled
         )
+        return self._group_hits(hits)
+
+    def _group_hits(
+        self, hits: Sequence[SearchHit]
+    ) -> Tuple[List[str], List[Tuple[str, float]]]:
+        """Group patch hits into distinct candidate key frames.
+
+        Each frame keeps its best-scoring patch position in the ordering, and
+        the number of candidate frames handed to the rerank stage is capped so
+        rerank cost stays bounded regardless of how large the indexed dataset
+        is.
+        """
         frame_order: Dict[str, float] = {}
         patch_hits: List[Tuple[str, float]] = []
         for hit in hits:
@@ -105,29 +205,36 @@ class QueryStrategy:
         candidate_frames = list(frame_order)[: self._config.max_candidate_frames]
         return candidate_frames, patch_hits
 
+    def _frame_candidate(self, frame_id: str) -> FrameCandidate:
+        """Re-encode one key frame into a rerank candidate (deterministic)."""
+        frame = self._frames.get(frame_id)
+        if frame is None:
+            raise QueryError(f"Candidate frame {frame_id!r} is not registered")
+        scene = self._frame_scene.get(frame_id, "generic")
+        encodings = self._summarizer.encode_single_frame(frame, scene=scene)
+        patches = tuple(
+            CandidatePatch(
+                patch_id=encoding.patch_id,
+                embedding=encoding.embedding,
+                box=encoding.box,
+                objectness=encoding.objectness,
+            )
+            for encoding in encodings
+        )
+        return FrameCandidate(frame_id=frame_id, patches=patches)
+
     def _rerank(
         self, parsed: ParsedQuery, candidate_frames: List[str], top_n: int
     ) -> List[ObjectQueryResult]:
         """Stage 2: cross-modality rerank of the candidate frames."""
-        candidates: List[FrameCandidate] = []
-        for frame_id in candidate_frames:
-            frame = self._frames.get(frame_id)
-            if frame is None:
-                raise QueryError(f"Candidate frame {frame_id!r} is not registered")
-            scene = self._frame_scene.get(frame_id, "generic")
-            encodings = self._summarizer.encode_single_frame(frame, scene=scene)
-            patches = tuple(
-                CandidatePatch(
-                    patch_id=encoding.patch_id,
-                    embedding=encoding.embedding,
-                    box=encoding.box,
-                    objectness=encoding.objectness,
-                )
-                for encoding in encodings
-            )
-            candidates.append(FrameCandidate(frame_id=frame_id, patches=patches))
-
+        candidates = [self._frame_candidate(frame_id) for frame_id in candidate_frames]
         reranked = self._reranker.rerank(parsed, candidates, top_n=top_n)
+        return self._results_from_rerank(reranked)
+
+    def _results_from_rerank(
+        self, reranked: Sequence[RerankResult]
+    ) -> List[ObjectQueryResult]:
+        """Convert rerank outputs into flat object-query results."""
         results: List[ObjectQueryResult] = []
         for entry in reranked:
             frame = self._frames[entry.frame_id]

@@ -7,6 +7,9 @@ from typing import Dict, List, Mapping
 
 from repro.utils.geometry import BoundingBox
 
+#: Phases that are offline/amortised work rather than per-query search time.
+_OFFLINE_PHASES = frozenset({"processing", "indexing"})
+
 
 @dataclass(frozen=True)
 class ObjectQueryResult:
@@ -45,7 +48,7 @@ class QueryResponse:
         """Query-time seconds (everything except offline video processing)."""
         return sum(
             seconds for phase, seconds in self.timings.items()
-            if phase not in {"processing", "indexing"}
+            if phase not in _OFFLINE_PHASES
         )
 
     def top(self, n: int) -> List[ObjectQueryResult]:
@@ -59,6 +62,44 @@ class QueryResponse:
         for result in sorted(self.results, key=lambda r: r.score, reverse=True):
             seen.setdefault(result.frame_id, None)
         return list(seen)
+
+
+@dataclass
+class BatchQueryResponse:
+    """Response to a batch of object queries answered in one engine pass.
+
+    ``responses`` holds one :class:`QueryResponse` per input query, in input
+    order, with per-query timings amortised (batch phase time divided by the
+    batch size) so that summing them reproduces the batch totals recorded in
+    :attr:`timings`.
+    """
+
+    queries: List[str] = field(default_factory=list)
+    responses: List[QueryResponse] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def __iter__(self):
+        return iter(self.responses)
+
+    def __getitem__(self, index: int) -> QueryResponse:
+        return self.responses[index]
+
+    @property
+    def batch_size(self) -> int:
+        """Number of queries answered by this batch."""
+        return len(self.queries)
+
+    @property
+    def search_seconds(self) -> float:
+        """Batch query-time seconds (excludes offline processing phases)."""
+        return sum(
+            seconds for phase, seconds in self.timings.items()
+            if phase not in _OFFLINE_PHASES
+        )
 
 
 def merge_timings(target: Mapping[str, float], extra: Mapping[str, float]) -> Dict[str, float]:

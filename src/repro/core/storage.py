@@ -110,6 +110,14 @@ class LOVOStorage:
             return self._collection.search(query_vector, k)
         return self._collection.search_exhaustive(query_vector, k)
 
+    def search_batch(
+        self, query_vectors: np.ndarray, k: int, use_ann: bool = True
+    ) -> List[List[SearchHit]]:
+        """Top-``k`` patch search for ``m`` query vectors at once."""
+        if use_ann:
+            return self._collection.search_batch(query_vectors, k)
+        return self._collection.search_exhaustive_batch(query_vectors, k)
+
     def patches_for_frame(self, frame_id: str) -> List[PatchRecord]:
         """All stored patch records of one key frame (for the rerank stage)."""
         return self._metadata.patches_for_frame(frame_id)

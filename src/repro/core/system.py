@@ -14,11 +14,11 @@ API:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import LOVOConfig
 from repro.core.query import QueryStrategy
-from repro.core.results import QueryResponse
+from repro.core.results import BatchQueryResponse, QueryResponse
 from repro.core.storage import LOVOStorage
 from repro.core.summary import SummaryOutput, VideoSummarizer
 from repro.encoders.cross_modal import CrossModalityReranker, RerankerConfig
@@ -148,6 +148,23 @@ class LOVO:
         for phase, seconds in response.timings.items():
             self._timer.add(phase, seconds)
         return response
+
+    def query_batch(
+        self, texts: Sequence[str], top_n: int | None = None
+    ) -> BatchQueryResponse:
+        """Answer several complex object queries in one batched engine pass.
+
+        Per query, the hits and scores match :meth:`query`; the batch path
+        amortises text encoding, the ANN probes, and the re-encoding of
+        candidate frames shared between queries, so throughput scales with
+        query concurrency instead of paying the full pipeline per call.
+        """
+        if self._strategy is None:
+            raise QueryError("Call ingest() before query_batch()")
+        batch = self._strategy.query_batch(texts, top_n=top_n)
+        for phase, seconds in batch.timings.items():
+            self._timer.add(phase, seconds)
+        return batch
 
     def time_distribution(self) -> Dict[str, float]:
         """The Fig. 9 breakdown: processing / rerank / indexing + fast search."""

@@ -18,7 +18,7 @@ cross-modality rerank.  The reproduction implements this with:
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -29,6 +29,7 @@ from repro.encoders.vocabulary import (
     split_object_and_relation_tokens,
 )
 from repro.errors import QueryError
+from repro.utils.cache import LRUCache
 
 #: Words carrying no semantic content for retrieval purposes.
 _STOP_WORDS = {
@@ -184,11 +185,16 @@ class TextEncoder:
         concept_space: ConceptSpace,
         class_embedding_dim: int,
         parser: QueryParser | None = None,
+        cache_size: int = 1024,
     ) -> None:
         self._space = concept_space
         self._parser = parser or QueryParser(concept_space.vocabulary)
         self._class_dim = class_embedding_dim
         self._projection = concept_space.projection_matrix(class_embedding_dim)
+        # Repeated query strings are common in batched workloads; caching the
+        # parse and the finished embedding makes them effectively free.
+        self._parse_cache: LRUCache[str, ParsedQuery] = LRUCache(cache_size)
+        self._embed_cache: LRUCache[ParsedQuery, np.ndarray] = LRUCache(cache_size)
 
     @property
     def parser(self) -> QueryParser:
@@ -201,8 +207,13 @@ class TextEncoder:
         return self._class_dim
 
     def parse(self, text: str) -> ParsedQuery:
-        """Parse without encoding (convenience passthrough)."""
-        return self._parser.parse(text)
+        """Parse without encoding (convenience passthrough, LRU-cached)."""
+        cached = self._parse_cache.get(text)
+        if cached is not None:
+            return cached
+        parsed = self._parser.parse(text)
+        self._parse_cache.put(text, parsed)
+        return parsed
 
     def encode(self, text: str | ParsedQuery) -> np.ndarray:
         """Encode a query for the fast-search stage.
@@ -210,15 +221,53 @@ class TextEncoder:
         Only the object tokens contribute (relations are dropped, §VI-A); the
         result lives in the class-embedding space ``D'`` and is unit-norm.
         """
-        parsed = self._ensure_parsed(text)
-        mixture = self._space.encode(
-            list(parsed.object_tokens), weights=self._token_weights(parsed.object_tokens)
-        )
-        projected = self._projection @ mixture
-        norm = np.linalg.norm(projected)
-        if norm > 0:
-            projected = projected / norm
-        return projected
+        return self.encode_batch([text])[0]
+
+    def encode_batch(self, texts: Sequence[str | ParsedQuery]) -> np.ndarray:
+        """Encode ``m`` queries in one vectorized pass; returns ``(m, D')``.
+
+        All uncached queries are projected through a single matrix product
+        instead of one matrix-vector product each, and finished embeddings
+        are LRU-cached by parsed query so duplicate strings in a batch (or
+        across batches) are embedded once.
+        """
+        parsed_list = [self._ensure_parsed(text) for text in texts]
+        rows = [self._embed_cache.get(parsed) for parsed in parsed_list]
+        missing = list(dict.fromkeys(
+            parsed for parsed, row in zip(parsed_list, rows) if row is None
+        ))
+        if missing:
+            mixtures = np.stack([
+                self._space.encode(
+                    list(parsed.object_tokens),
+                    weights=self._token_weights(parsed.object_tokens),
+                )
+                for parsed in missing
+            ])
+            projected = mixtures @ self._projection.T
+            norms = np.linalg.norm(projected, axis=1, keepdims=True)
+            projected = projected / np.where(norms > 0, norms, 1.0)
+            # Copy each row out of the batch matrix so a cached entry does not
+            # pin the whole (m, D') buffer alive for its LRU lifetime.
+            fresh = {parsed: projected[i].copy() for i, parsed in enumerate(missing)}
+            for parsed, row in fresh.items():
+                self._embed_cache.put(parsed, row)
+            rows = [
+                row if row is not None else fresh[parsed]
+                for parsed, row in zip(parsed_list, rows)
+            ]
+        if not rows:
+            return np.zeros((0, self._class_dim), dtype=np.float64)
+        return np.stack(rows)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters of the parse and embedding caches."""
+        return {
+            "parse_hits": self._parse_cache.hits,
+            "parse_misses": self._parse_cache.misses,
+            "embed_hits": self._embed_cache.hits,
+            "embed_misses": self._embed_cache.misses,
+        }
 
     def encode_full(self, text: str | ParsedQuery) -> np.ndarray:
         """Encode a query including relational tokens (used by baselines that
@@ -239,7 +288,7 @@ class TextEncoder:
     def _ensure_parsed(self, text: str | ParsedQuery) -> ParsedQuery:
         if isinstance(text, ParsedQuery):
             return text
-        return self._parser.parse(text)
+        return self.parse(text)
 
     @staticmethod
     def _token_weights(tokens: Sequence[str]) -> Dict[str, float]:

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence
 
 from repro.core.results import QueryResponse
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, UnsupportedQueryError
 from repro.eval.metrics import GroundTruthInstance, evaluate_results
 from repro.eval.workloads import QuerySpec, build_ground_truth
 from repro.utils.timing import Stopwatch
@@ -27,6 +27,18 @@ class VideoQuerySystem(Protocol):
 
     def query(self, text: str, top_n: int | None = None) -> QueryResponse:
         """Answer one object query."""
+
+
+class BatchVideoQuerySystem(VideoQuerySystem, Protocol):
+    """A query system that additionally supports batched multi-query answering.
+
+    ``run_queries`` detects this capability (via ``hasattr``) and routes whole
+    workloads through one :meth:`query_batch` call, which is how the Table II
+    experiments exercise LOVO's batched engine.
+    """
+
+    def query_batch(self, texts: Sequence[str], top_n: int | None = None) -> object:
+        """Answer several object queries in one pass."""
 
 
 @dataclass
@@ -64,6 +76,7 @@ def run_queries(
     ingest_seconds: float = 0.0,
     top_multiplier: int = 10,
     ground_truth_cache: Optional[Dict[str, List[GroundTruthInstance]]] = None,
+    batch: Optional[bool] = None,
 ) -> List[ExperimentRecord]:
     """Run a set of queries against an already-ingested system.
 
@@ -76,30 +89,37 @@ def run_queries(
         top_multiplier: AveP is computed over ``top_multiplier x |GT|`` results.
         ground_truth_cache: Optional cache keyed by query id to avoid
             rebuilding ground truth for every system.
+        batch: ``True`` to answer the whole workload with one
+            ``query_batch`` call, ``False`` to force the sequential loop.
+            The default (``None``) batches whenever the system supports it.
 
     Returns:
         One :class:`ExperimentRecord` per query.
     """
-    from repro.errors import UnsupportedQueryError
+    use_batch = hasattr(system, "query_batch") if batch is None else batch
+    ground_truths = [
+        _resolve_ground_truth(dataset, spec, ground_truth_cache) for spec in specs
+    ]
+    if use_batch and specs:
+        stopwatch = Stopwatch().start()
+        try:
+            responses = system.query_batch([spec.text for spec in specs])  # type: ignore[attr-defined]
+        except UnsupportedQueryError:
+            # A batch is all-or-nothing; fall through to the sequential loop,
+            # which records unsupported queries individually.
+            pass
+        else:
+            per_query_elapsed = stopwatch.stop() / len(specs)
+            return [
+                _make_record(
+                    system_name, spec, response, ground_truth,
+                    per_query_elapsed, ingest_seconds, top_multiplier, supported=True,
+                )
+                for spec, response, ground_truth in zip(specs, responses, ground_truths)
+            ]
 
     records: List[ExperimentRecord] = []
-    for spec in specs:
-        if spec.dataset != dataset.name.split("[")[0]:
-            raise EvaluationError(
-                f"Query {spec.query_id} targets dataset {spec.dataset!r}, got {dataset.name!r}"
-            )
-        if ground_truth_cache is not None and spec.query_id in ground_truth_cache:
-            ground_truth = ground_truth_cache[spec.query_id]
-        else:
-            ground_truth = build_ground_truth(dataset, spec)
-            if ground_truth_cache is not None:
-                ground_truth_cache[spec.query_id] = ground_truth
-        if not ground_truth:
-            raise EvaluationError(
-                f"Query {spec.query_id} has no ground truth in dataset {dataset.name!r}; "
-                "increase the dataset size or adjust the scene specification"
-            )
-
+    for spec, ground_truth in zip(specs, ground_truths):
         stopwatch = Stopwatch().start()
         try:
             response = system.query(spec.text)
@@ -108,27 +128,67 @@ def run_queries(
             response = QueryResponse(query=spec.text, results=[], timings={})
             supported = False
         elapsed = stopwatch.stop()
-
-        avep = (
-            evaluate_results(response.results, ground_truth, top_multiplier=top_multiplier)
-            if supported
-            else 0.0
-        )
         records.append(
-            ExperimentRecord(
-                system=system_name,
-                query_id=spec.query_id,
-                dataset=spec.dataset,
-                average_precision=avep,
-                search_seconds=response.search_seconds if supported else elapsed,
-                total_seconds=elapsed + ingest_seconds,
-                num_results=len(response.results),
-                num_ground_truth=len(ground_truth),
-                timings=dict(response.timings),
-                supported=supported,
+            _make_record(
+                system_name, spec, response, ground_truth,
+                elapsed, ingest_seconds, top_multiplier, supported,
             )
         )
     return records
+
+
+def _resolve_ground_truth(
+    dataset: VideoDataset,
+    spec: QuerySpec,
+    cache: Optional[Dict[str, List[GroundTruthInstance]]],
+) -> List[GroundTruthInstance]:
+    """Fetch (or build and cache) the ground truth of one query spec."""
+    if spec.dataset != dataset.name.split("[")[0]:
+        raise EvaluationError(
+            f"Query {spec.query_id} targets dataset {spec.dataset!r}, got {dataset.name!r}"
+        )
+    if cache is not None and spec.query_id in cache:
+        ground_truth = cache[spec.query_id]
+    else:
+        ground_truth = build_ground_truth(dataset, spec)
+        if cache is not None:
+            cache[spec.query_id] = ground_truth
+    if not ground_truth:
+        raise EvaluationError(
+            f"Query {spec.query_id} has no ground truth in dataset {dataset.name!r}; "
+            "increase the dataset size or adjust the scene specification"
+        )
+    return ground_truth
+
+
+def _make_record(
+    system_name: str,
+    spec: QuerySpec,
+    response: QueryResponse,
+    ground_truth: List[GroundTruthInstance],
+    elapsed: float,
+    ingest_seconds: float,
+    top_multiplier: int,
+    supported: bool,
+) -> ExperimentRecord:
+    """Assemble one experiment record from a query response."""
+    avep = (
+        evaluate_results(response.results, ground_truth, top_multiplier=top_multiplier)
+        if supported
+        else 0.0
+    )
+    return ExperimentRecord(
+        system=system_name,
+        query_id=spec.query_id,
+        dataset=spec.dataset,
+        average_precision=avep,
+        search_seconds=response.search_seconds if supported else elapsed,
+        total_seconds=elapsed + ingest_seconds,
+        num_results=len(response.results),
+        num_ground_truth=len(ground_truth),
+        timings=dict(response.timings),
+        supported=supported,
+    )
 
 
 def mean_average_precision(records: Sequence[ExperimentRecord]) -> float:

@@ -12,7 +12,7 @@ other objects in the same frame).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import EvaluationError
 from repro.eval.metrics import GroundTruthInstance

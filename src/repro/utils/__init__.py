@@ -1,10 +1,12 @@
-"""Shared utilities: geometry, deterministic RNG, timing, serialization."""
+"""Shared utilities: geometry, deterministic RNG, timing, caching, serialization."""
 
+from repro.utils.cache import LRUCache
 from repro.utils.geometry import BoundingBox, iou, iou_matrix, pairwise_center_distance
 from repro.utils.rng import derive_seed, rng_from_tokens
 from repro.utils.timing import PhaseTimer, Stopwatch
 
 __all__ = [
+    "LRUCache",
     "BoundingBox",
     "iou",
     "iou_matrix",

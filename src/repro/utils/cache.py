@@ -1,0 +1,69 @@
+"""A small least-recently-used cache.
+
+Used by the batched text encoder to avoid re-parsing and re-embedding
+repeated query strings: real workloads (and the Table II benchmark batches)
+contain many duplicate or near-duplicate queries, so an LRU over the query
+text makes the per-query encoding cost of a hot query effectively zero.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded mapping that evicts the least-recently-used entry.
+
+    Both :meth:`get` and :meth:`put` refresh an entry's recency.  ``hits``
+    and ``misses`` counters are exposed so callers (and tests) can verify
+    cache effectiveness.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize <= 0:
+            raise ValueError("LRUCache maxsize must be positive")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def maxsize(self) -> int:
+        """Maximum number of entries retained."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Return the cached value (refreshing recency) or ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh an entry, evicting the oldest when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

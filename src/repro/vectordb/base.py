@@ -19,6 +19,23 @@ class IndexHit:
     score: float
 
 
+def as_query_matrix(queries: np.ndarray, dim: int, context: str = "queries") -> np.ndarray:
+    """Coerce a query batch to a float64 ``(m, dim)`` matrix or raise.
+
+    A single 1-D vector is promoted to a batch of one.  Shared by every
+    multi-query entry point (indexes, collections, the product quantizer) so
+    batch-shape semantics cannot drift between layers.
+    """
+    batch = np.asarray(queries, dtype=np.float64)
+    if batch.ndim == 1:
+        batch = batch[None, :]
+    if batch.ndim != 2 or batch.shape[1] != dim:
+        raise DimensionMismatchError(
+            f"Expected {context} of shape (m, {dim}), got {batch.shape}"
+        )
+    return batch
+
+
 class VectorIndex(abc.ABC):
     """Abstract maximum-inner-product index over unit-norm vectors.
 
@@ -51,7 +68,27 @@ class VectorIndex(abc.ABC):
 
     @abc.abstractmethod
     def search(self, query: np.ndarray, k: int) -> List[IndexHit]:
-        """Return the top-``k`` hits by inner-product similarity."""
+        """Return the top-``k`` hits by inner-product similarity.
+
+        Every index follows the same edge-case contract: ``k <= 0`` and an
+        empty index both yield ``[]``, and ``k > ntotal`` returns at most
+        ``ntotal`` hits (approximate indexes may return fewer).
+        """
+
+    def search_batch(self, queries: np.ndarray, k: int) -> List[List[IndexHit]]:
+        """Answer ``m`` queries at once; one hit list per query row.
+
+        ``queries`` is an ``(m, dim)`` array.  The default implementation
+        falls back to ``m`` sequential :meth:`search` calls; concrete indexes
+        override it to amortise work across the batch (one matrix product on
+        the flat index, shared coarse-quantizer scoring on IVF-PQ, shared
+        validation and vector storage on HNSW).  The edge-case contract
+        matches :meth:`search` per query row.
+        """
+        batch = self._validate_query_batch(queries)
+        if k <= 0 or self.ntotal == 0:
+            return [[] for _ in range(batch.shape[0])]
+        return [self.search(row, k) for row in batch]
 
     def _validate(self, vectors: np.ndarray) -> np.ndarray:
         data = np.asarray(vectors, dtype=np.float64)
@@ -70,3 +107,6 @@ class VectorIndex(abc.ABC):
                 f"Expected query of dimension {self._dim}, got {vector.shape[0]}"
             )
         return vector
+
+    def _validate_query_batch(self, queries: np.ndarray) -> np.ndarray:
+        return as_query_matrix(queries, self._dim)

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.config import IndexConfig
 from repro.errors import VectorDatabaseError
-from repro.vectordb.base import VectorIndex
+from repro.vectordb.base import IndexHit, VectorIndex, as_query_matrix
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.ivfpq import IVFPQIndex
@@ -132,13 +132,22 @@ class VectorCollection:
         if not self._built:
             self.flush()
         hits = self._index.search(np.asarray(query, dtype=np.float64), k)
+        return [self._to_search_hit(hit) for hit in hits]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> List[List[SearchHit]]:
+        """ANN search for ``m`` queries at once; one hit list per query row.
+
+        Delegates to the index's multi-query search so the per-batch work
+        (matrix products, coarse-quantizer scoring) is shared across queries.
+        """
+        batch = self._as_query_matrix(queries)
+        if self.num_entities == 0 or k <= 0:
+            return [[] for _ in range(batch.shape[0])]
+        if not self._built:
+            self.flush()
         return [
-            SearchHit(
-                id=self._internal_to_external[hit.id],
-                score=hit.score,
-                metadata=self._metadata[hit.id],
-            )
-            for hit in hits
+            [self._to_search_hit(hit) for hit in row]
+            for row in self._index.search_batch(batch, k)
         ]
 
     def search_exhaustive(self, query: np.ndarray, k: int) -> List[SearchHit]:
@@ -146,22 +155,42 @@ class VectorCollection:
 
         Used by the "w/o ANNS" ablation of Table IV.
         """
-        if self.num_entities == 0 or k <= 0:
-            return []
-        matrix = np.vstack(self._vectors)
         vector = np.asarray(query, dtype=np.float64).reshape(-1)
-        scores = matrix @ vector
-        k = min(k, scores.shape[0])
-        top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top])]
-        return [
-            SearchHit(
-                id=self._internal_to_external[int(i)],
-                score=float(scores[i]),
-                metadata=self._metadata[int(i)],
-            )
-            for i in top
-        ]
+        return self.search_exhaustive_batch(vector[None, :], k)[0]
+
+    def search_exhaustive_batch(self, queries: np.ndarray, k: int) -> List[List[SearchHit]]:
+        """Exact brute-force multi-query search (batched w/o-ANNS ablation)."""
+        batch = self._as_query_matrix(queries)
+        if self.num_entities == 0 or k <= 0:
+            return [[] for _ in range(batch.shape[0])]
+        matrix = np.vstack(self._vectors)
+        scores = batch @ matrix.T
+        k = min(k, matrix.shape[0])
+        results: List[List[SearchHit]] = []
+        for row in scores:
+            top = np.argpartition(-row, k - 1)[:k]
+            top = top[np.argsort(-row[top])]
+            results.append([
+                SearchHit(
+                    id=self._internal_to_external[int(i)],
+                    score=float(row[i]),
+                    metadata=self._metadata[int(i)],
+                )
+                for i in top
+            ])
+        return results
+
+    def _to_search_hit(self, hit: IndexHit) -> SearchHit:
+        return SearchHit(
+            id=self._internal_to_external[hit.id],
+            score=hit.score,
+            metadata=self._metadata[hit.id],
+        )
+
+    def _as_query_matrix(self, queries: np.ndarray) -> np.ndarray:
+        return as_query_matrix(
+            queries, self._dim, context=f"collection {self._name!r} queries"
+        )
 
     def get_vector(self, external_id: str) -> np.ndarray:
         """Return the stored vector for an id."""

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 from repro.config import IndexConfig
 from repro.errors import CollectionExistsError, CollectionNotFoundError
-from repro.vectordb.collection import VectorCollection
+from repro.vectordb.collection import SearchHit, VectorCollection
 
 
 class VectorDatabase:
@@ -41,6 +43,16 @@ class VectorDatabase:
         if name not in self._collections:
             raise CollectionNotFoundError(f"Collection {name!r} does not exist")
         del self._collections[name]
+
+    def search(self, name: str, query: np.ndarray, k: int) -> List[SearchHit]:
+        """Single-query search against a named collection."""
+        return self.get_collection(name).search(query, k)
+
+    def search_batch(
+        self, name: str, queries: np.ndarray, k: int
+    ) -> List[List[SearchHit]]:
+        """Multi-query search against a named collection (one list per row)."""
+        return self.get_collection(name).search_batch(queries, k)
 
     def list_collections(self) -> List[str]:
         """Names of all collections."""

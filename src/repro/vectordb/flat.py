@@ -54,6 +54,27 @@ class FlatIndex(VectorIndex):
             return []
         vector = self._validate_query(query)
         scores = self._matrix @ vector
+        return self._rank_row(scores, k)
+
+    def search_batch(self, queries: np.ndarray, k: int) -> List[List[IndexHit]]:
+        """Exact multi-query search: one ``(m, n)`` matrix product.
+
+        Scoring all ``m`` queries in a single GEMM instead of ``m`` separate
+        matrix-vector products is where the batch path earns its speedup —
+        the per-call Python and BLAS dispatch overhead is paid once for the
+        whole batch.
+        """
+        batch = self._validate_query_batch(queries)
+        self.build()
+        assert self._matrix is not None and self._ids is not None
+        if self._matrix.shape[0] == 0 or k <= 0:
+            return [[] for _ in range(batch.shape[0])]
+        scores = batch @ self._matrix.T
+        return [self._rank_row(row, k) for row in scores]
+
+    def _rank_row(self, scores: np.ndarray, k: int) -> List[IndexHit]:
+        """Top-``k`` hits of one precomputed score row, best first."""
+        assert self._ids is not None
         k = min(k, scores.shape[0])
         top = np.argpartition(-scores, k - 1)[:k]
         top = top[np.argsort(-scores[top])]

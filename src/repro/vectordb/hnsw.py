@@ -67,6 +67,25 @@ class HNSWIndex(VectorIndex):
         if k <= 0 or not self._vectors or self._entry_point is None:
             return []
         vector = self._validate_query(query)
+        return self._search_validated(vector, k)
+
+    def search_batch(self, queries: np.ndarray, k: int) -> List[List[IndexHit]]:
+        """Answer ``m`` queries with one validation pass and shared graph state.
+
+        The beam search itself is inherently per-query, but the batch entry
+        point validates the whole ``(m, dim)`` block once and starts every
+        query from the same entry point, so the per-call overhead of the
+        sequential loop is amortised.  Each row runs exactly the same
+        algorithm as :meth:`search`, so results match query for query.
+        """
+        batch = self._validate_query_batch(queries)
+        if k <= 0 or not self._vectors or self._entry_point is None:
+            return [[] for _ in range(batch.shape[0])]
+        return [self._search_validated(row, k) for row in batch]
+
+    def _search_validated(self, vector: np.ndarray, k: int) -> List[IndexHit]:
+        """Greedy descent plus layer-0 beam search for one validated query."""
+        assert self._entry_point is not None
         current = self._entry_point
         for layer in range(len(self._layers) - 1, 0, -1):
             current = self._greedy_descend(vector, current, layer)

@@ -38,11 +38,27 @@ class _InvertedList:
 
     ids: List[int] = field(default_factory=list)
     codes: List[np.ndarray] = field(default_factory=list)
+    _cached: tuple[np.ndarray, np.ndarray] | None = field(default=None, repr=False)
 
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        if not self.ids:
-            return np.zeros(0, dtype=np.int64), np.zeros((0, 0), dtype=np.int32)
-        return np.asarray(self.ids, dtype=np.int64), np.vstack(self.codes)
+        """Id and code arrays, cached until the list grows.
+
+        Searches hit every probed list once per query, so materialising the
+        arrays on every call (the previous behaviour) made scan cost scale
+        with query count; the cache rebuilds only after an insert.
+        """
+        if self._cached is None or self._cached[0].shape[0] != len(self.ids):
+            if not self.ids:
+                self._cached = (
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros((0, 0), dtype=np.int32),
+                )
+            else:
+                self._cached = (
+                    np.asarray(self.ids, dtype=np.int64),
+                    np.vstack(self.codes),
+                )
+        return self._cached
 
 
 class IVFPQIndex(VectorIndex):
@@ -121,54 +137,85 @@ class IVFPQIndex(VectorIndex):
         self._pending_vectors = []
 
     def search(self, query: np.ndarray, k: int) -> List[IndexHit]:
+        vector = self._validate_query(query)
+        return self._search_validated_batch(vector[None, :], k)[0]
+
+    def search_batch(self, queries: np.ndarray, k: int) -> List[List[IndexHit]]:
+        """Answer ``m`` queries with shared coarse-quantizer work.
+
+        The coarse centroid scores for the whole batch come from a single
+        ``(m, nlist)`` matrix product and the ADC lookup tables from one
+        batched pass per subspace; only the per-query list scans and the
+        exact re-score remain per row.
+        """
+        batch = self._validate_query_batch(queries)
+        return self._search_validated_batch(batch, k)
+
+    def _search_validated_batch(self, batch: np.ndarray, k: int) -> List[List[IndexHit]]:
+        num_queries = batch.shape[0]
+        if k <= 0 or self.ntotal == 0:
+            return [[] for _ in range(num_queries)]
         if not self._built:
             self.build()
         assert self._coarse_centroids is not None
-        if k <= 0 or self._count == 0:
-            return []
-        vector = self._validate_query(query)
+        if self._count == 0:
+            return [[] for _ in range(num_queries)]
 
-        # Rank coarse centroids by similarity and keep the best A clusters.
-        centroid_scores = self._coarse_centroids @ vector
-        nprobe = min(self._config.nprobe, centroid_scores.shape[0])
+        # Shared across the batch: coarse centroid ranking and ADC tables.
+        centroid_scores = batch @ self._coarse_centroids.T
+        nprobe = min(self._config.nprobe, centroid_scores.shape[1])
+        tables = self._quantizer.inner_product_tables_batch(batch)
+        return [
+            self._scan_lists(batch[row], centroid_scores[row], tables[row], nprobe, k)
+            for row in range(num_queries)
+        ]
+
+    def _scan_lists(
+        self,
+        vector: np.ndarray,
+        centroid_scores: np.ndarray,
+        tables: np.ndarray,
+        nprobe: int,
+        k: int,
+    ) -> List[IndexHit]:
+        """Scan the best ``nprobe`` inverted lists for one query row."""
+        assert self._coarse_centroids is not None
         probed = np.argsort(-centroid_scores)[:nprobe]
-
-        tables = self._quantizer.inner_product_tables(vector)
+        subspaces = np.arange(self._quantizer.num_subspaces)
         candidate_ids: List[np.ndarray] = []
         candidate_scores: List[np.ndarray] = []
+        candidate_codes: List[np.ndarray] = []
         candidate_clusters: List[np.ndarray] = []
         for cluster in probed:
             inverted = self._lists.get(int(cluster))
             if inverted is None or not inverted.ids:
                 continue
             ids_array, codes = inverted.as_arrays()
-            residual_scores = np.zeros(codes.shape[0], dtype=np.float64)
-            for subspace in range(self._quantizer.num_subspaces):
-                residual_scores += tables[subspace, codes[:, subspace]]
-            approx = centroid_scores[cluster] + residual_scores
+            residual_scores = tables[subspaces[None, :], codes].sum(axis=1)
             candidate_ids.append(ids_array)
-            candidate_scores.append(approx)
+            candidate_scores.append(centroid_scores[cluster] + residual_scores)
+            candidate_codes.append(codes)
             candidate_clusters.append(np.full(ids_array.shape[0], cluster, dtype=np.int64))
         if not candidate_ids:
             return []
         all_ids = np.concatenate(candidate_ids)
         all_scores = np.concatenate(candidate_scores)
+        all_codes = np.vstack(candidate_codes)
         all_clusters = np.concatenate(candidate_clusters)
 
         # Short-list with the approximate scores, then re-score exactly using
         # the reconstructed vectors (coarse centroid + decoded residual).
+        # Ordering ties by id keeps results deterministic even when distinct
+        # vectors share a PQ code and therefore an identical approximate score.
         shortlist_size = min(max(k * 8, k), all_scores.shape[0])
-        shortlist = np.argpartition(-all_scores, shortlist_size - 1)[:shortlist_size]
-        exact_scores = np.empty(shortlist.shape[0], dtype=np.float64)
-        for position, candidate in enumerate(shortlist):
-            cluster = int(all_clusters[candidate])
-            inverted = self._lists[cluster]
-            local_index = int(np.where(np.asarray(inverted.ids) == all_ids[candidate])[0][0])
-            code = inverted.codes[local_index][None, :]
-            reconstructed = self._coarse_centroids[cluster] + self._quantizer.decode(code)[0]
-            exact_scores[position] = float(reconstructed @ vector)
+        shortlist = np.lexsort((all_ids, -all_scores))[:shortlist_size]
+        reconstructed = (
+            self._coarse_centroids[all_clusters[shortlist]]
+            + self._quantizer.decode(all_codes[shortlist])
+        )
+        exact_scores = reconstructed @ vector
 
-        order = np.argsort(-exact_scores)[: min(k, shortlist.shape[0])]
+        order = np.lexsort((all_ids[shortlist], -exact_scores))[: min(k, shortlist.shape[0])]
         return [
             IndexHit(id=int(all_ids[shortlist[i]]), score=float(exact_scores[i]))
             for i in order

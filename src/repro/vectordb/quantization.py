@@ -16,6 +16,7 @@ from typing import List
 import numpy as np
 
 from repro.errors import DimensionMismatchError, IndexNotBuiltError, VectorDatabaseError
+from repro.vectordb.base import as_query_matrix
 from repro.vectordb.kmeans import lloyd_kmeans
 
 
@@ -134,10 +135,23 @@ class ProductQuantizer:
             raise DimensionMismatchError(
                 f"query has dimension {vector.shape[0]}, expected {self.dim}"
             )
-        tables = np.empty((self.num_subspaces, self.num_centroids), dtype=np.float64)
+        return self.inner_product_tables_batch(vector[None, :])[0]
+
+    def inner_product_tables_batch(self, queries: np.ndarray) -> np.ndarray:
+        """ADC lookup tables for ``m`` queries at once.
+
+        Returns an array of shape ``(m, P, num_centroids)``; each subspace's
+        tables for the whole batch come from a single matrix product against
+        that subspace's codebook, which is how the batched IVF-PQ search
+        amortises table construction across queries.
+        """
+        batch = as_query_matrix(queries, self.dim)
+        tables = np.empty(
+            (batch.shape[0], self.num_subspaces, self.num_centroids), dtype=np.float64
+        )
         for subspace, codebook in enumerate(self.codebooks):
             columns = slice(subspace * self.subspace_dim, (subspace + 1) * self.subspace_dim)
-            tables[subspace] = codebook @ vector[columns]
+            tables[:, subspace, :] = batch[:, columns] @ codebook.T
         return tables
 
     def approximate_scores(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro import LOVO, LOVOConfig
-from repro.config import EncoderConfig, IndexConfig, KeyframeConfig, QueryConfig
+from repro import LOVO
+from repro.config import QueryConfig
 from repro.core.results import ObjectQueryResult, QueryResponse, merge_timings
 from repro.core.storage import LOVOStorage
 from repro.core.summary import VideoSummarizer

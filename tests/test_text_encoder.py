@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.encoders.concepts import ConceptSpace
-from repro.encoders.text import ParsedQuery, QueryParser, TextEncoder
+from repro.encoders.text import QueryParser, TextEncoder
 from repro.encoders.vocabulary import default_vocabulary
 from repro.errors import QueryError
 from repro.eval.workloads import all_queries

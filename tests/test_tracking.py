@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.tracking import ByteTracker, ConstantVelocityKalman, Detection
 from repro.utils.geometry import BoundingBox, iou
