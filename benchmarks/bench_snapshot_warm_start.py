@@ -1,0 +1,106 @@
+"""Snapshot warm start: loading a persisted system vs re-running ingest.
+
+The paper's economics are "process and index once, serve queries forever":
+the offline summary phase dominates total cost (Fig. 9) precisely because it
+is paid a single time.  The snapshot persistence subsystem makes that story
+hold across processes — this benchmark measures, for each index family, the
+one-time ingest cost against the cost of ``LOVO.load`` from a snapshot, and
+verifies the warm-started system answers queries bit-identically.
+
+Acceptance gate: on the Bellevue synthetic dataset the warm load must be at
+least 5x faster than re-ingesting, for every index family.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro import LOVO
+from repro.eval.reporting import format_table
+from repro.eval.workloads import queries_for_dataset
+
+from conftest import bench_lovo_config, report
+
+DATASET = "bellevue"
+NUM_VIDEOS = 1
+FRAMES_PER_VIDEO = 300
+WARM_START_SPEEDUP_GATE = 5.0
+
+
+def _queries() -> List[str]:
+    return [spec.text for spec in queries_for_dataset(DATASET)]
+
+
+def measure_index_type(bench_env, index_type: str, snapshot_dir) -> Dict[str, float]:
+    """Ingest/save/load timings plus parity for one index family."""
+    dataset = bench_env.dataset(DATASET, NUM_VIDEOS, FRAMES_PER_VIDEO)
+
+    # Cold start pays system construction plus the full ingest pipeline —
+    # exactly what a process restart costs without persistence.  Warm start
+    # (LOVO.load) also includes construction, so the comparison is
+    # end-to-end on both sides.
+    start = time.perf_counter()
+    system = LOVO(bench_lovo_config(index_type))
+    system.ingest(dataset)
+    ingest_seconds = time.perf_counter() - start
+
+    root = snapshot_dir / index_type
+    start = time.perf_counter()
+    system.save(root)
+    save_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    loaded = LOVO.load(root)
+    load_seconds = time.perf_counter() - start
+
+    # The warm-started system must reproduce the original results exactly.
+    for text in _queries():
+        before = [(r.frame_id, r.patch_id, r.score) for r in system.query(text).results]
+        after = [(r.frame_id, r.patch_id, r.score) for r in loaded.query(text).results]
+        assert after == before, f"Snapshot parity violated for {index_type}: {text!r}"
+
+    return {
+        "ingest_s": ingest_seconds,
+        "save_s": save_seconds,
+        "load_s": load_seconds,
+        "speedup": ingest_seconds / load_seconds,
+    }
+
+
+def run_snapshot_warm_start(bench_env, snapshot_dir) -> Dict[str, Dict[str, float]]:
+    return {
+        index_type: measure_index_type(bench_env, index_type, snapshot_dir)
+        for index_type in ("flat", "ivfpq", "hnsw")
+    }
+
+
+def test_snapshot_warm_start(benchmark, bench_env, tmp_path):
+    results = benchmark.pedantic(
+        run_snapshot_warm_start, args=(bench_env, tmp_path), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            index_type,
+            f"{values['ingest_s']:.2f}",
+            f"{values['save_s']:.3f}",
+            f"{values['load_s']:.3f}",
+            f"{values['speedup']:.1f}x",
+        ]
+        for index_type, values in results.items()
+    ]
+    table = format_table(
+        ["index", "ingest (s)", "save (s)", "load (s)", "warm-start speedup"],
+        rows,
+        title=f"Snapshot warm start vs re-ingest ({DATASET}, {FRAMES_PER_VIDEO} frames)",
+    )
+    report("snapshot_warm_start", table)
+
+    # Acceptance gate: warm load beats re-ingest by >= 5x on every family.
+    for index_type, values in results.items():
+        assert values["speedup"] >= WARM_START_SPEEDUP_GATE, (
+            f"{index_type}: load took {values['load_s']:.3f}s vs "
+            f"{values['ingest_s']:.3f}s ingest ({values['speedup']:.1f}x < "
+            f"{WARM_START_SPEEDUP_GATE}x)"
+        )

@@ -1,0 +1,67 @@
+"""Persisting a system: ingest once, snapshot, serve from a fresh process.
+
+Demonstrates the snapshot persistence subsystem: a dataset is summarised and
+indexed once, the whole built system is saved to disk, and a "fresh process"
+(simulated here by ``LOVO.load`` into a brand-new object) answers the same
+queries bit-identically — without re-running any of the ingest pipeline.
+
+Run with:  python examples/save_load.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import LOVO, LOVOConfig
+from repro.video import make_bellevue
+
+
+def main() -> None:
+    # 1. One-time ingest: the expensive, query-agnostic phase.
+    dataset = make_bellevue(num_videos=1, frames_per_video=300)
+    start = time.perf_counter()
+    system = LOVO(LOVOConfig())
+    system.ingest(dataset)
+    ingest_seconds = time.perf_counter() - start
+    print(
+        f"Ingested {dataset.num_frames} frames -> {system.num_keyframes} key frames, "
+        f"{system.num_entities} patch vectors in {ingest_seconds:.2f}s"
+    )
+
+    # 2. Snapshot the entire built system: indexes, metadata, key frames,
+    #    and configuration, under a versioned, checksummed manifest.
+    snapshot_dir = Path(tempfile.mkdtemp()) / "lovo-snapshot"
+    manifest = system.save(snapshot_dir)
+    total_bytes = sum(path.stat().st_size for path in snapshot_dir.rglob("*") if path.is_file())
+    print(
+        f"Saved snapshot (schema v{manifest.schema_version}, repro "
+        f"{manifest.repro_version}, {len(manifest.artifacts)} artifacts, "
+        f"{total_bytes / 1e6:.1f} MB) to {snapshot_dir}"
+    )
+
+    # 3. Warm start: what a fresh serving process does at boot.  No video is
+    #    touched; the manifest is validated, checksums are verified, and the
+    #    built indexes are restored as-is.
+    start = time.perf_counter()
+    served = LOVO.load(snapshot_dir)
+    load_seconds = time.perf_counter() - start
+    print(
+        f"Warm-started in {load_seconds:.3f}s "
+        f"({ingest_seconds / load_seconds:.0f}x faster than re-ingesting)"
+    )
+
+    # 4. The warm-started system answers queries exactly like the original.
+    query = "A red car driving in the center of the road"
+    original = [(r.frame_id, round(r.score, 6)) for r in system.query(query, top_n=5).results]
+    restored = [(r.frame_id, round(r.score, 6)) for r in served.query(query, top_n=5).results]
+    assert original == restored, "snapshot round trip changed query results!"
+    print(f"\nQuery: {query}")
+    for rank, (frame_id, score) in enumerate(restored, start=1):
+        print(f"  #{rank} frame={frame_id} score={score:.3f}")
+    print("\nOriginal and warm-started systems returned identical results.")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,35 @@ from repro.core.results import BatchQueryResponse, ObjectQueryResult, QueryRespo
 from repro.core.system import LOVO
 from repro.errors import ReproError
 
-__version__ = "1.1.0"
+
+def _resolve_version() -> str:
+    """Single-source the package version from packaging metadata.
+
+    ``pyproject.toml`` is the only place the version number is written.  An
+    installed package reads it through ``importlib.metadata``; a plain
+    checkout (tests run via the ``pythonpath`` setting without installing)
+    falls back to parsing the adjacent ``pyproject.toml``.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version("lovo-repro")
+    except metadata.PackageNotFoundError:
+        pass
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(encoding="utf-8"), re.MULTILINE
+        )
+    except OSError:
+        match = None
+    return match.group(1) if match else "0.0.0+unknown"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "LOVO",

@@ -8,7 +8,8 @@ reproduction tractable while preserving the system's behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping
 
 from repro.errors import ConfigurationError
 
@@ -177,3 +178,40 @@ class LOVOConfig:
             index=index or self.index,
             query=query or self.query,
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain nested-dict form of the configuration (JSON-serialisable).
+
+        Used by the snapshot persistence subsystem: a snapshot stamps the
+        full configuration so :meth:`from_dict` can rebuild the exact system
+        (every encoder and index in this reproduction is deterministic given
+        its configuration and seeds).
+        """
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "LOVOConfig":
+        """Rebuild a :class:`LOVOConfig` from :meth:`to_dict` output.
+
+        Raises :class:`~repro.errors.ConfigurationError` on unknown keys or
+        values that fail the sub-configuration validators.
+        """
+        sections = {
+            "encoder": EncoderConfig,
+            "keyframes": KeyframeConfig,
+            "index": IndexConfig,
+            "query": QueryConfig,
+        }
+        unknown = set(payload) - set(sections)
+        if unknown:
+            raise ConfigurationError(f"Unknown configuration sections: {sorted(unknown)}")
+        kwargs = {}
+        for name, cls in sections.items():
+            section = payload.get(name, {})
+            try:
+                kwargs[name] = cls(**section)
+            except TypeError as error:
+                raise ConfigurationError(
+                    f"Invalid {name!r} configuration section: {error}"
+                ) from error
+        return LOVOConfig(**kwargs)

@@ -10,13 +10,16 @@ frame-level metadata retrieval for the rerank stage.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+from pathlib import Path
 from typing import List, Sequence
 
 import numpy as np
 
 from repro.config import IndexConfig
 from repro.encoders.vision import PatchEncoding
-from repro.errors import VectorDatabaseError
+from repro.errors import SnapshotCorruptionError, VectorDatabaseError
+from repro.utils.serialization import load_json, save_json
 from repro.utils.timing import PhaseTimer
 from repro.vectordb.collection import SearchHit, VectorCollection
 from repro.vectordb.database import VectorDatabase
@@ -40,9 +43,21 @@ class LOVOStorage:
         self._index_config = index_config or IndexConfig()
         self._database = database or VectorDatabase()
         self._metadata = metadata or MetadataStore()
-        self._collection: VectorCollection = self._database.create_collection(
-            self.COLLECTION_NAME, dim, self._index_config
-        )
+        # A database restored from a snapshot already carries the patch
+        # collection; adopt it instead of creating a fresh (empty) one.
+        if self._database.has_collection(self.COLLECTION_NAME):
+            existing = self._database.get_collection(self.COLLECTION_NAME)
+            if existing.dim != dim or existing.index_type != self._index_config.index_type:
+                raise VectorDatabaseError(
+                    f"Existing {self.COLLECTION_NAME!r} collection "
+                    f"({existing.dim}-d, {existing.index_type}) does not match the "
+                    f"requested storage ({dim}-d, {self._index_config.index_type})"
+                )
+            self._collection = existing
+        else:
+            self._collection = self._database.create_collection(
+                self.COLLECTION_NAME, dim, self._index_config
+            )
 
     @property
     def collection(self) -> VectorCollection:
@@ -125,6 +140,36 @@ class LOVOStorage:
     def patch_record(self, patch_id: str) -> PatchRecord:
         """Relational record of one patch."""
         return self._metadata.get_patch(patch_id)
+
+    def save(self, path: str | Path) -> None:
+        """Persist the vector database and metadata store to a directory."""
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        save_json(
+            root / "storage.json",
+            {"dim": self._dim, "index_config": asdict(self._index_config)},
+        )
+        self._database.save(root / "vectordb")
+        self._metadata.save(root / "metadata.npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LOVOStorage":
+        """Restore storage saved by :meth:`save` without touching ingest."""
+        root = Path(path)
+        document = load_json(root / "storage.json")
+        index_config = IndexConfig(**document["index_config"])
+        database = VectorDatabase.load(root / "vectordb")
+        if not database.has_collection(cls.COLLECTION_NAME):
+            raise SnapshotCorruptionError(
+                f"Storage snapshot has no {cls.COLLECTION_NAME!r} collection"
+            )
+        metadata = MetadataStore.load(root / "metadata.npz")
+        return cls(
+            dim=int(document["dim"]),
+            index_config=index_config,
+            database=database,
+            metadata=metadata,
+        )
 
     def storage_report(self) -> dict:
         """Summary of what is stored (used by reports and ablations)."""

@@ -14,6 +14,8 @@ API:
 
 from __future__ import annotations
 
+from dataclasses import asdict
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import LOVOConfig
@@ -23,7 +25,9 @@ from repro.core.storage import LOVOStorage
 from repro.core.summary import SummaryOutput, VideoSummarizer
 from repro.encoders.cross_modal import CrossModalityReranker, RerankerConfig
 from repro.encoders.text import TextEncoder
-from repro.errors import QueryError
+from repro.errors import PersistenceError, QueryError, SnapshotCorruptionError
+from repro.persist.manifest import SnapshotManifest
+from repro.persist.snapshot import load_system, save_system
 from repro.utils.timing import PhaseTimer
 from repro.video.model import Frame, VideoDataset
 
@@ -165,6 +169,77 @@ class LOVO:
         for phase, seconds in batch.timings.items():
             self._timer.add(phase, seconds)
         return batch
+
+    def save(self, path: str | Path) -> SnapshotManifest:
+        """Persist the entire built system to a snapshot directory.
+
+        The snapshot captures the vector database (exact built index state
+        for Flat, HNSW, and IVF-PQ), the relational metadata store, the
+        key-frame registry with annotations, and the full configuration —
+        everything :meth:`load` needs to answer queries bit-identically in a
+        fresh process without re-running :meth:`ingest`.
+        """
+        if self._storage is None or self._summary is None:
+            raise PersistenceError("Cannot snapshot an empty system: call ingest() first")
+        return save_system(
+            path,
+            config=self._config,
+            storage=self._storage,
+            keyframes=list(self._frame_registry.values()),
+            frame_scene=self._frame_scene,
+            datasets=self._datasets,
+            frames_processed=self._summary.frames_processed,
+            total_frames=self._summary.total_frames,
+            reranker_config=asdict(self._reranker.config),
+        )
+
+    @classmethod
+    def load(
+        cls, path: str | Path, reranker_config: RerankerConfig | None = None
+    ) -> "LOVO":
+        """Restore a system saved by :meth:`save`, ready to serve queries.
+
+        The snapshot's manifest is validated (schema version, per-artifact
+        checksums) before anything is deserialised.  The encoders and
+        reranker are rebuilt from the stored configuration — they are
+        deterministic given their seeds — and the warm-loaded system's
+        ``query()`` / ``query_batch()`` results match the original exactly.
+        Pass ``reranker_config`` only to deliberately override the snapshot's
+        stored reranker configuration.  Further :meth:`ingest` calls keep
+        working and grow the loaded index.
+        """
+        restored = load_system(path)
+        if reranker_config is None and restored.reranker_config is not None:
+            try:
+                reranker_config = RerankerConfig(**restored.reranker_config)
+            except TypeError as error:
+                raise SnapshotCorruptionError(
+                    f"Snapshot reranker configuration is malformed: {error}"
+                ) from error
+        system = cls(restored.config, reranker_config)
+        system._storage = restored.storage
+        for frame in restored.keyframes:
+            system._frame_registry[frame.frame_id] = frame
+        system._frame_scene = dict(restored.frame_scene)
+        system._datasets = list(restored.datasets)
+        # Patch encodings are ingest-time intermediates (their vectors live
+        # on in the collection), so the restored summary carries none.
+        system._summary = SummaryOutput(
+            keyframes=list(restored.keyframes),
+            frame_scene=dict(restored.frame_scene),
+            frames_processed=restored.frames_processed,
+            total_frames=restored.total_frames,
+        )
+        system._strategy = QueryStrategy(
+            text_encoder=system._text_encoder,
+            reranker=system._reranker,
+            summarizer=system._summarizer,
+            storage=restored.storage,
+            frame_registry=system._frame_registry,
+            frame_scene=system._frame_scene,
+            config=restored.config.query,
+        )
+        return system
 
     def time_distribution(self) -> Dict[str, float]:
         """The Fig. 9 breakdown: processing / rerank / indexing + fast search."""

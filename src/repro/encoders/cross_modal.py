@@ -116,15 +116,34 @@ class CrossModalityReranker:
     def __init__(self, concept_space: ConceptSpace, config: RerankerConfig | None = None) -> None:
         self._space = concept_space
         self._config = config or RerankerConfig()
-        dim = concept_space.dim
-        self._enhancer_layers = [
-            CrossModalLayer(dim, self._config.hidden_dim, f"enhancer{i}", seed=self._config.seed)
-            for i in range(self._config.num_enhancer_layers)
-        ]
-        self._decoder_layers = [
-            CrossModalLayer(dim, self._config.hidden_dim, f"decoder{i}", seed=self._config.seed)
-            for i in range(self._config.num_decoder_layers)
-        ]
+        # Layer weights (several QR factorizations) are built lazily on first
+        # use: they dominate construction cost, and query-free paths — e.g.
+        # warm-starting a system from a snapshot and serving only fast-search
+        # queries — never need them.  The weights are deterministic given the
+        # seed, so laziness cannot change any score.
+        self._layers: tuple[List[CrossModalLayer], List[CrossModalLayer]] | None = None
+
+    def _build_layers(self) -> tuple[List["CrossModalLayer"], List["CrossModalLayer"]]:
+        if self._layers is None:
+            dim = self._space.dim
+            enhancers = [
+                CrossModalLayer(dim, self._config.hidden_dim, f"enhancer{i}", seed=self._config.seed)
+                for i in range(self._config.num_enhancer_layers)
+            ]
+            decoders = [
+                CrossModalLayer(dim, self._config.hidden_dim, f"decoder{i}", seed=self._config.seed)
+                for i in range(self._config.num_decoder_layers)
+            ]
+            self._layers = (enhancers, decoders)
+        return self._layers
+
+    @property
+    def _enhancer_layers(self) -> List["CrossModalLayer"]:
+        return self._build_layers()[0]
+
+    @property
+    def _decoder_layers(self) -> List["CrossModalLayer"]:
+        return self._build_layers()[1]
 
     @property
     def config(self) -> RerankerConfig:

@@ -62,3 +62,20 @@ class UnsupportedQueryError(QueryError):
 
 class EvaluationError(ReproError):
     """Raised when an evaluation metric receives ill-formed input."""
+
+
+class PersistenceError(ReproError):
+    """Base class for snapshot save/load failures (missing files, bad state).
+
+    The persistence subsystem never lets bare ``IOError``/``ValueError``
+    escape: anything that goes wrong while writing or reading a snapshot is
+    reported as a :class:`PersistenceError` (or one of its subclasses below).
+    """
+
+
+class SnapshotVersionError(PersistenceError):
+    """Raised when a snapshot's schema version is not supported by this code."""
+
+
+class SnapshotCorruptionError(PersistenceError):
+    """Raised when a snapshot artifact fails checksum or structural validation."""

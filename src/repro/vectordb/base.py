@@ -4,11 +4,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError, VectorDatabaseError
+from repro.errors import DimensionMismatchError, PersistenceError, VectorDatabaseError
 
 
 @dataclass(frozen=True)
@@ -89,6 +89,31 @@ class VectorIndex(abc.ABC):
         if k <= 0 or self.ntotal == 0:
             return [[] for _ in range(batch.shape[0])]
         return [self.search(row, k) for row in batch]
+
+    def to_state(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Serialise the built index as ``(meta, arrays)``.
+
+        ``meta`` is a JSON-serialisable dict whose ``"kind"`` key names the
+        index family; ``arrays`` holds the NumPy payloads destined for an
+        ``.npz`` archive.  Restoring with :meth:`from_state` must yield an
+        index whose :meth:`search`/:meth:`search_batch` results are
+        bit-identical to the original.  Implementations may finalise
+        (:meth:`build`) the index first.
+        """
+        raise PersistenceError(
+            f"{type(self).__name__} does not implement snapshot persistence"
+        )
+
+    @classmethod
+    def from_state(
+        cls,
+        dim: int,
+        config: object,
+        meta: Mapping[str, object],
+        arrays: Mapping[str, np.ndarray],
+    ) -> "VectorIndex":
+        """Rebuild an index from :meth:`to_state` output without re-ingesting."""
+        raise PersistenceError(f"{cls.__name__} does not implement snapshot persistence")
 
     def _validate(self, vectors: np.ndarray) -> np.ndarray:
         data = np.asarray(vectors, dtype=np.float64)

@@ -8,13 +8,15 @@ and carries an optional metadata dict per entity for convenience.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Type
 
 import numpy as np
 
 from repro.config import IndexConfig
-from repro.errors import VectorDatabaseError
+from repro.errors import SnapshotCorruptionError, VectorDatabaseError
+from repro.utils.serialization import load_arrays, load_json, save_arrays, save_json
 from repro.vectordb.base import IndexHit, VectorIndex, as_query_matrix
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
@@ -30,6 +32,14 @@ class SearchHit:
     metadata: Mapping[str, object] = field(default_factory=dict)
 
 
+#: Index families by the ``"kind"`` tag their serialised state carries.
+INDEX_KINDS: Dict[str, Type[VectorIndex]] = {
+    "flat": FlatIndex,
+    "hnsw": HNSWIndex,
+    "ivfpq": IVFPQIndex,
+}
+
+
 def build_index(dim: int, config: IndexConfig) -> VectorIndex:
     """Instantiate the ANN index described by ``config``."""
     if config.index_type == "flat":
@@ -37,6 +47,21 @@ def build_index(dim: int, config: IndexConfig) -> VectorIndex:
     if config.index_type == "hnsw":
         return HNSWIndex(dim, config)
     return IVFPQIndex(dim, config)
+
+
+def restore_index(
+    dim: int,
+    config: IndexConfig,
+    meta: Mapping[str, object],
+    arrays: Mapping[str, np.ndarray],
+) -> VectorIndex:
+    """Rebuild a serialised index, dispatching on its ``"kind"`` tag."""
+    kind = str(meta.get("kind", ""))
+    try:
+        family = INDEX_KINDS[kind]
+    except KeyError as error:
+        raise SnapshotCorruptionError(f"Unknown index kind {kind!r} in snapshot") from error
+    return family.from_state(dim, config, meta, arrays)
 
 
 class VectorCollection:
@@ -215,6 +240,105 @@ class VectorCollection:
     def ids(self) -> List[str]:
         """All external ids in insertion order."""
         return list(self._internal_to_external)
+
+    def save(self, path: str | Path) -> None:
+        """Persist the collection (vectors, ids, metadata, built index) to a
+        directory.
+
+        The index is finalised first so the serialised state answers queries
+        identically to the in-memory collection; :meth:`load` restores it
+        without replaying any inserts.
+        """
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        if self.num_entities:
+            self.flush()
+            index_meta, index_arrays = self._index.to_state()
+            save_arrays(root / "index.npz", index_arrays)
+        else:
+            index_meta = None
+        save_json(
+            root / "collection.json",
+            {
+                "name": self._name,
+                "dim": self._dim,
+                "num_entities": self.num_entities,
+                "index_config": asdict(self._config),
+                "index_meta": index_meta,
+                "entity_metadata": [dict(entry) for entry in self._metadata],
+            },
+        )
+        entities: Dict[str, np.ndarray] = {
+            "ids": (
+                np.asarray(self._internal_to_external, dtype=np.str_)
+                if self._internal_to_external
+                else np.zeros(0, dtype="<U1")
+            ),
+        }
+        # When the index state already carries the raw vectors in insertion
+        # order (flat, HNSW), storing them again here would double the
+        # snapshot's dominant payload; load() pulls them from the index.
+        if index_meta is None or "raw_vectors" not in index_meta:
+            entities["vectors"] = (
+                np.vstack(self._vectors)
+                if self._vectors
+                else np.zeros((0, self._dim), dtype=np.float64)
+            )
+        save_arrays(root / "entities.npz", entities)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "VectorCollection":
+        """Restore a collection saved by :meth:`save`."""
+        root = Path(path)
+        document = load_json(root / "collection.json")
+        config = IndexConfig(**document["index_config"])
+        collection = cls(str(document["name"]), int(document["dim"]), config)
+        entities = load_arrays(root / "entities.npz")
+        ids = [str(external_id) for external_id in entities["ids"]]
+        metadata = document.get("entity_metadata") or []
+        index_meta = document.get("index_meta")
+        index_arrays = None
+        if ids:
+            if index_meta is None:
+                raise SnapshotCorruptionError(
+                    f"Collection {document['name']!r} has entities but no index state"
+                )
+            index_arrays = load_arrays(root / "index.npz")
+        if "vectors" in entities:
+            vectors = entities["vectors"]
+        else:
+            raw_key = (index_meta or {}).get("raw_vectors")
+            if index_arrays is None or raw_key not in (index_arrays or {}):
+                raise SnapshotCorruptionError(
+                    f"Collection {document['name']!r} snapshot stores no raw vectors"
+                )
+            vectors = index_arrays[str(raw_key)]
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or (vectors.shape[0] and vectors.shape[1] != collection._dim):
+            raise SnapshotCorruptionError(
+                f"Collection {document['name']!r} vectors must have shape "
+                f"(n, {collection._dim}), got {vectors.shape}"
+            )
+        if not (len(ids) == vectors.shape[0] == len(metadata) == int(document["num_entities"])):
+            raise SnapshotCorruptionError(
+                f"Collection {document['name']!r} snapshot is inconsistent: "
+                f"{len(ids)} ids, {vectors.shape[0]} vectors, {len(metadata)} metadata entries"
+            )
+        collection._internal_to_external = ids
+        collection._external_to_internal = {
+            external_id: position for position, external_id in enumerate(ids)
+        }
+        if len(collection._external_to_internal) != len(ids):
+            raise SnapshotCorruptionError(
+                f"Collection {document['name']!r} snapshot contains duplicate ids"
+            )
+        collection._metadata = [dict(entry) for entry in metadata]
+        collection._vectors = [row for row in vectors]
+        if ids:
+            assert index_meta is not None and index_arrays is not None
+            collection._index = restore_index(collection._dim, config, index_meta, index_arrays)
+            collection._built = True
+        return collection
 
     def storage_bytes(self) -> int:
         """Approximate memory footprint of the raw vectors (for reporting)."""

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, List
 
 import numpy as np
 
 from repro.config import IndexConfig
-from repro.errors import CollectionExistsError, CollectionNotFoundError
+from repro.errors import CollectionExistsError, CollectionNotFoundError, SnapshotCorruptionError
+from repro.utils.serialization import load_json, save_json
 from repro.vectordb.collection import SearchHit, VectorCollection
 
 
@@ -25,6 +27,13 @@ class VectorDatabase:
             raise CollectionExistsError(f"Collection {name!r} already exists")
         collection = VectorCollection(name, dim, config)
         self._collections[name] = collection
+        return collection
+
+    def add_collection(self, collection: VectorCollection) -> VectorCollection:
+        """Register an already-built collection (e.g. one loaded from disk)."""
+        if collection.name in self._collections:
+            raise CollectionExistsError(f"Collection {collection.name!r} already exists")
+        self._collections[collection.name] = collection
         return collection
 
     def get_collection(self, name: str) -> VectorCollection:
@@ -61,3 +70,35 @@ class VectorDatabase:
     def total_entities(self) -> int:
         """Total number of vectors across every collection."""
         return sum(collection.num_entities for collection in self._collections.values())
+
+    def save(self, path: str | Path) -> None:
+        """Persist every collection to a directory tree.
+
+        Collections land in numbered subdirectories (collection names are not
+        required to be filesystem-safe); ``database.json`` records the
+        mapping.
+        """
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        entries = []
+        for position, name in enumerate(self.list_collections()):
+            subdir = f"collections/{position:04d}"
+            self._collections[name].save(root / subdir)
+            entries.append({"name": name, "path": subdir})
+        save_json(root / "database.json", {"collections": entries})
+
+    @classmethod
+    def load(cls, path: str | Path) -> "VectorDatabase":
+        """Restore a database saved by :meth:`save`."""
+        root = Path(path)
+        document = load_json(root / "database.json")
+        database = cls()
+        for entry in document.get("collections", []):
+            collection = VectorCollection.load(root / str(entry["path"]))
+            if collection.name != entry["name"]:
+                raise SnapshotCorruptionError(
+                    f"Collection at {entry['path']!r} claims name {collection.name!r}, "
+                    f"manifest says {entry['name']!r}"
+                )
+            database.add_collection(collection)
+        return database

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import VectorDatabaseError
+from repro.errors import SnapshotCorruptionError, VectorDatabaseError
 from repro.vectordb.base import IndexHit, VectorIndex
 
 
@@ -71,6 +71,45 @@ class FlatIndex(VectorIndex):
             return [[] for _ in range(batch.shape[0])]
         scores = batch @ self._matrix.T
         return [self._rank_row(row, k) for row in scores]
+
+    def to_state(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Serialise the finalised score matrix and id vector.
+
+        ``raw_vectors`` tells the owning collection that ``matrix`` holds the
+        raw vectors in insertion order, so it need not store its own copy.
+        """
+        self.build()
+        assert self._matrix is not None and self._ids is not None
+        return (
+            {"kind": "flat", "raw_vectors": "matrix"},
+            {"matrix": self._matrix, "ids": self._ids},
+        )
+
+    @classmethod
+    def from_state(
+        cls,
+        dim: int,
+        config: object,
+        meta: Mapping[str, object],
+        arrays: Mapping[str, np.ndarray],
+    ) -> "FlatIndex":
+        index = cls(dim)
+        matrix = np.asarray(arrays["matrix"], dtype=np.float64)
+        ids = np.asarray(arrays["ids"], dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != dim or matrix.shape[0] != ids.shape[0]:
+            raise SnapshotCorruptionError(
+                f"Flat index state is inconsistent: matrix {matrix.shape}, "
+                f"{ids.shape[0]} ids, dim {dim}"
+            )
+        # Seed the chunk lists as well as the finalised views so that add()
+        # after a load (which invalidates the views and re-vstacks the
+        # chunks) keeps the restored vectors.
+        if matrix.shape[0]:
+            index._chunks = [matrix]
+            index._id_chunks = [ids]
+        index._matrix = matrix
+        index._ids = ids
+        return index
 
     def _rank_row(self, scores: np.ndarray, k: int) -> List[IndexHit]:
         """Top-``k`` hits of one precomputed score row, best first."""

@@ -17,12 +17,12 @@ brute force.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.config import IndexConfig
-from repro.errors import VectorDatabaseError
+from repro.errors import SnapshotCorruptionError, VectorDatabaseError
 from repro.vectordb.base import IndexHit, VectorIndex
 
 
@@ -35,6 +35,7 @@ class HNSWIndex(VectorIndex):
         self._m = self._config.hnsw_m
         self._ef_construction = self._config.hnsw_ef_construction
         self._ef_search = self._config.hnsw_ef_search
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._level_multiplier = 1.0 / np.log(max(self._m, 2))
         self._vectors: List[np.ndarray] = []
@@ -95,6 +96,95 @@ class HNSWIndex(VectorIndex):
             IndexHit(id=self._external_ids[node], score=self._score(vector, node))
             for node in ranked
         ]
+
+    def to_state(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Serialise vectors, ids, node levels, and the full layer graphs.
+
+        Each layer's adjacency dict is flattened to three arrays (present
+        nodes, CSR-style offsets, concatenated neighbour lists) so the graph
+        restores exactly — searches over a loaded index visit the same nodes
+        in the same order as the original.  ``raw_vectors`` tells the owning
+        collection that ``vectors`` holds the raw vectors in insertion order,
+        so it need not store its own copy.
+        """
+        meta: Dict[str, object] = {
+            "kind": "hnsw",
+            "raw_vectors": "vectors",
+            "entry_point": -1 if self._entry_point is None else int(self._entry_point),
+            "num_layers": len(self._layers),
+            "seed": self._seed,
+            # One geometric level was drawn per insert; recorded so a loaded
+            # index can fast-forward its RNG and keep future inserts
+            # identical to a never-persisted index.
+            "level_draws": len(self._vectors),
+        }
+        arrays: Dict[str, np.ndarray] = {
+            "vectors": (
+                np.vstack(self._vectors)
+                if self._vectors
+                else np.zeros((0, self.dim), dtype=np.float64)
+            ),
+            "external_ids": np.asarray(self._external_ids, dtype=np.int64),
+            "node_levels": np.asarray(self._node_levels, dtype=np.int64),
+        }
+        for position, layer in enumerate(self._layers):
+            nodes = np.asarray(sorted(layer), dtype=np.int64)
+            offsets = np.zeros(nodes.shape[0] + 1, dtype=np.int64)
+            neighbours: List[int] = []
+            for slot, node in enumerate(nodes):
+                links = layer[int(node)]
+                neighbours.extend(links)
+                offsets[slot + 1] = offsets[slot] + len(links)
+            arrays[f"layer{position}_nodes"] = nodes
+            arrays[f"layer{position}_offsets"] = offsets
+            arrays[f"layer{position}_neighbors"] = np.asarray(neighbours, dtype=np.int64)
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls,
+        dim: int,
+        config: object,
+        meta: Mapping[str, object],
+        arrays: Mapping[str, np.ndarray],
+    ) -> "HNSWIndex":
+        index_config = config if isinstance(config, IndexConfig) else None
+        index = cls(dim, index_config, seed=int(meta.get("seed", 0)))
+        vectors = np.asarray(arrays["vectors"], dtype=np.float64)
+        external_ids = np.asarray(arrays["external_ids"], dtype=np.int64)
+        node_levels = np.asarray(arrays["node_levels"], dtype=np.int64)
+        if vectors.ndim != 2 or vectors.shape[1] != dim:
+            raise SnapshotCorruptionError(
+                f"HNSW vectors must have shape (n, {dim}), got {vectors.shape}"
+            )
+        if not (vectors.shape[0] == external_ids.shape[0] == node_levels.shape[0]):
+            raise SnapshotCorruptionError("HNSW state arrays disagree on element count")
+        index._vectors = [row for row in vectors]
+        index._external_ids = [int(identifier) for identifier in external_ids]
+        index._node_levels = [int(level) for level in node_levels]
+        num_layers = int(meta.get("num_layers", 0))
+        layers: List[Dict[int, List[int]]] = []
+        for position in range(num_layers):
+            try:
+                nodes = arrays[f"layer{position}_nodes"]
+                offsets = arrays[f"layer{position}_offsets"]
+                neighbours = arrays[f"layer{position}_neighbors"]
+            except KeyError as error:
+                raise SnapshotCorruptionError(
+                    f"HNSW layer {position} is missing from the snapshot"
+                ) from error
+            layer: Dict[int, List[int]] = {}
+            for slot, node in enumerate(nodes):
+                start, stop = int(offsets[slot]), int(offsets[slot + 1])
+                layer[int(node)] = [int(link) for link in neighbours[start:stop]]
+            layers.append(layer)
+        index._layers = layers
+        entry_point = int(meta.get("entry_point", -1))
+        index._entry_point = None if entry_point < 0 else entry_point
+        level_draws = int(meta.get("level_draws", len(index._vectors)))
+        if level_draws:
+            index._rng.random(level_draws)
+        return index
 
     def degree_statistics(self) -> Dict[str, float]:
         """Mean/max out-degree on layer 0 (diagnostics and tests)."""

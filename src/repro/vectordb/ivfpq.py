@@ -21,12 +21,12 @@ candidates are then re-scored exactly with the reconstructed vectors (lines
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import IndexConfig
-from repro.errors import IndexNotBuiltError, VectorDatabaseError
+from repro.errors import IndexNotBuiltError, SnapshotCorruptionError, VectorDatabaseError
 from repro.vectordb.base import IndexHit, VectorIndex
 from repro.vectordb.kmeans import lloyd_kmeans
 from repro.vectordb.quantization import ProductQuantizer
@@ -220,6 +220,88 @@ class IVFPQIndex(VectorIndex):
             IndexHit(id=int(all_ids[shortlist[i]]), score=float(exact_scores[i]))
             for i in order
         ]
+
+    def to_state(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Serialise coarse centroids, PQ codebooks, and the inverted lists.
+
+        Finalises (:meth:`build`) first so pending vectors are trained and
+        assigned; the inverted lists are flattened to CSR-style arrays
+        (cluster ids, offsets, concatenated member ids and codes).
+        """
+        self.build()
+        assert self._coarse_centroids is not None
+        clusters = np.asarray(sorted(self._lists), dtype=np.int64)
+        offsets = np.zeros(clusters.shape[0] + 1, dtype=np.int64)
+        all_ids: List[int] = []
+        code_blocks: List[np.ndarray] = []
+        for slot, cluster in enumerate(clusters):
+            entry = self._lists[int(cluster)]
+            all_ids.extend(entry.ids)
+            if entry.codes:
+                code_blocks.append(np.vstack(entry.codes))
+            offsets[slot + 1] = offsets[slot] + len(entry.ids)
+        codes = (
+            np.vstack(code_blocks)
+            if code_blocks
+            else np.zeros((0, self._config.num_subspaces), dtype=np.int32)
+        )
+        meta: Dict[str, object] = {"kind": "ivfpq", "count": self._count}
+        arrays: Dict[str, np.ndarray] = {
+            "coarse_centroids": self._coarse_centroids,
+            "list_clusters": clusters,
+            "list_offsets": offsets,
+            "list_ids": np.asarray(all_ids, dtype=np.int64),
+            "list_codes": codes.astype(np.int32, copy=False),
+        }
+        arrays.update(self._quantizer.to_state())
+        return meta, arrays
+
+    @classmethod
+    def from_state(
+        cls,
+        dim: int,
+        config: object,
+        meta: Mapping[str, object],
+        arrays: Mapping[str, np.ndarray],
+    ) -> "IVFPQIndex":
+        index_config = config if isinstance(config, IndexConfig) else IndexConfig()
+        index = cls(dim, index_config)
+        index._coarse_centroids = np.asarray(arrays["coarse_centroids"], dtype=np.float64)
+        if index._coarse_centroids.ndim != 2 or index._coarse_centroids.shape[1] != dim:
+            raise SnapshotCorruptionError(
+                f"IVF-PQ coarse centroids must have shape (nlist, {dim}), "
+                f"got {index._coarse_centroids.shape}"
+            )
+        index._quantizer = ProductQuantizer.from_state(
+            arrays,
+            num_subspaces=index_config.num_subspaces,
+            num_centroids=index_config.num_centroids,
+            kmeans_iterations=index_config.kmeans_iterations,
+        )
+        clusters = np.asarray(arrays["list_clusters"], dtype=np.int64)
+        offsets = np.asarray(arrays["list_offsets"], dtype=np.int64)
+        all_ids = np.asarray(arrays["list_ids"], dtype=np.int64)
+        codes = np.asarray(arrays["list_codes"], dtype=np.int32)
+        if offsets.shape[0] != clusters.shape[0] + 1 or (
+            offsets.shape[0] and int(offsets[-1]) != all_ids.shape[0]
+        ):
+            raise SnapshotCorruptionError("IVF-PQ inverted-list offsets are inconsistent")
+        if codes.shape[0] != all_ids.shape[0]:
+            raise SnapshotCorruptionError(
+                f"IVF-PQ has {all_ids.shape[0]} member ids but {codes.shape[0]} codes"
+            )
+        lists: Dict[int, _InvertedList] = {}
+        for slot, cluster in enumerate(clusters):
+            start, stop = int(offsets[slot]), int(offsets[slot + 1])
+            entry = _InvertedList(
+                ids=[int(identifier) for identifier in all_ids[start:stop]],
+                codes=[code for code in codes[start:stop]],
+            )
+            lists[int(cluster)] = entry
+        index._lists = lists
+        index._count = int(meta.get("count", all_ids.shape[0]))
+        index._built = True
+        return index
 
     def list_sizes(self) -> Dict[int, int]:
         """Number of vectors stored per inverted list (diagnostics)."""

@@ -13,10 +13,13 @@ from __future__ import annotations
 import sqlite3
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.errors import MetadataError
+import numpy as np
+
+from repro.errors import MetadataError, SnapshotCorruptionError
 from repro.utils.geometry import BoundingBox
+from repro.utils.serialization import load_arrays, save_arrays
 
 
 @dataclass(frozen=True)
@@ -39,6 +42,13 @@ class FrameRecord:
     video_id: str
     frame_index: int
     timestamp: float
+
+
+def _string_array(values: Sequence[str]) -> np.ndarray:
+    """Unicode NumPy array from ``values`` (empty input stays a string dtype)."""
+    if not values:
+        return np.zeros(0, dtype="<U1")
+    return np.asarray(list(values), dtype=np.str_)
 
 
 class MetadataStore:
@@ -182,6 +192,114 @@ class MetadataStore:
         """Number of key-frame records stored."""
         cursor = self._connection.execute("SELECT COUNT(*) FROM frames")
         return int(cursor.fetchone()[0])
+
+    def list_patches(self) -> List[PatchRecord]:
+        """All stored patch records ordered by frame and patch index."""
+        cursor = self._connection.execute(
+            "SELECT patch_id, frame_id, video_id, patch_index, x, y, w, h, objectness "
+            "FROM patches ORDER BY frame_id, patch_index, patch_id"
+        )
+        return [self._row_to_patch(row) for row in cursor.fetchall()]
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Columnar array form of every frame and patch record.
+
+        The snapshot persistence subsystem stores these in one ``.npz``
+        archive; :meth:`from_arrays` rebuilds an equivalent store (SQLite
+        ``REAL`` columns are IEEE doubles, so floats round-trip exactly).
+        """
+        frames = self.list_frames()
+        patches = self.list_patches()
+        return {
+            "frame_ids": _string_array([record.frame_id for record in frames]),
+            "frame_video_ids": _string_array([record.video_id for record in frames]),
+            "frame_indexes": np.asarray(
+                [record.frame_index for record in frames], dtype=np.int64
+            ),
+            "frame_timestamps": np.asarray(
+                [record.timestamp for record in frames], dtype=np.float64
+            ),
+            "patch_ids": _string_array([record.patch_id for record in patches]),
+            "patch_frame_ids": _string_array([record.frame_id for record in patches]),
+            "patch_video_ids": _string_array([record.video_id for record in patches]),
+            "patch_indexes": np.asarray(
+                [record.patch_index for record in patches], dtype=np.int64
+            ),
+            "patch_boxes": (
+                np.asarray([record.box.to_array() for record in patches], dtype=np.float64)
+                if patches
+                else np.zeros((0, 4), dtype=np.float64)
+            ),
+            "patch_objectness": np.asarray(
+                [record.objectness for record in patches], dtype=np.float64
+            ),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Dict[str, np.ndarray], path: str | Path | None = None
+    ) -> "MetadataStore":
+        """Rebuild a store from :meth:`to_arrays` output."""
+        required = {
+            "frame_ids", "frame_video_ids", "frame_indexes", "frame_timestamps",
+            "patch_ids", "patch_frame_ids", "patch_video_ids", "patch_indexes",
+            "patch_boxes", "patch_objectness",
+        }
+        missing = required - set(arrays)
+        if missing:
+            raise SnapshotCorruptionError(
+                f"Metadata arrays are missing columns: {sorted(missing)}"
+            )
+        num_frames = {int(arrays[name].shape[0]) for name in
+                      ("frame_ids", "frame_video_ids", "frame_indexes", "frame_timestamps")}
+        num_patches = {int(arrays[name].shape[0]) for name in
+                       ("patch_ids", "patch_frame_ids", "patch_video_ids",
+                        "patch_indexes", "patch_boxes", "patch_objectness")}
+        if len(num_frames) != 1 or len(num_patches) != 1:
+            raise SnapshotCorruptionError("Metadata columns disagree on record count")
+        store = cls(path)
+        # Feed SQLite row tuples straight from the columnar arrays instead of
+        # materialising record dataclasses: warm-start load time is dominated
+        # by this method for large snapshots.
+        frame_rows = list(
+            zip(
+                (str(value) for value in arrays["frame_ids"].tolist()),
+                (str(value) for value in arrays["frame_video_ids"].tolist()),
+                arrays["frame_indexes"].tolist(),
+                arrays["frame_timestamps"].tolist(),
+            )
+        )
+        boxes = np.asarray(arrays["patch_boxes"], dtype=np.float64).reshape(-1, 4)
+        patch_rows = [
+            (str(patch_id), str(frame_id), str(video_id), patch_index,
+             box[0], box[1], box[2], box[3], objectness)
+            for patch_id, frame_id, video_id, patch_index, box, objectness in zip(
+                arrays["patch_ids"].tolist(),
+                arrays["patch_frame_ids"].tolist(),
+                arrays["patch_video_ids"].tolist(),
+                arrays["patch_indexes"].tolist(),
+                boxes.tolist(),
+                arrays["patch_objectness"].tolist(),
+            )
+        ]
+        with store._connection:
+            store._connection.executemany(
+                "INSERT OR REPLACE INTO frames VALUES (?, ?, ?, ?)", frame_rows
+            )
+            store._connection.executemany(
+                "INSERT OR REPLACE INTO patches VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                patch_rows,
+            )
+        return store
+
+    def save(self, path: str | Path) -> None:
+        """Persist every record to one ``.npz`` archive at ``path``."""
+        save_arrays(path, self.to_arrays())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MetadataStore":
+        """Rebuild an in-memory store from a :meth:`save` archive."""
+        return cls.from_arrays(load_arrays(path))
 
     @staticmethod
     def _row_to_patch(row: tuple) -> PatchRecord:

@@ -11,11 +11,16 @@ residual-and-lookup-table scheme Algorithm 1 describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Mapping
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError, IndexNotBuiltError, VectorDatabaseError
+from repro.errors import (
+    DimensionMismatchError,
+    IndexNotBuiltError,
+    SnapshotCorruptionError,
+    VectorDatabaseError,
+)
 from repro.vectordb.base import as_query_matrix
 from repro.vectordb.kmeans import lloyd_kmeans
 
@@ -93,6 +98,37 @@ class ProductQuantizer:
                 centroids = np.tile(centroids, (repeats, 1))[: self.num_centroids]
             codebooks.append(centroids)
         self._codebooks = codebooks
+
+    def to_state(self) -> Dict[str, np.ndarray]:
+        """Trained codebooks as one ``(P, M, m)`` array for persistence."""
+        return {"codebooks": np.stack(self.codebooks)}
+
+    @classmethod
+    def from_state(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        num_subspaces: int,
+        num_centroids: int,
+        kmeans_iterations: int = 15,
+        seed: int = 0,
+    ) -> "ProductQuantizer":
+        """Rebuild a trained quantizer from :meth:`to_state` output."""
+        quantizer = cls(
+            num_subspaces=num_subspaces,
+            num_centroids=num_centroids,
+            kmeans_iterations=kmeans_iterations,
+            seed=seed,
+        )
+        stacked = np.asarray(arrays["codebooks"], dtype=np.float64)
+        if stacked.ndim != 3 or stacked.shape[:2] != (num_subspaces, num_centroids):
+            raise SnapshotCorruptionError(
+                f"PQ codebooks must have shape ({num_subspaces}, {num_centroids}, m), "
+                f"got {stacked.shape}"
+            )
+        quantizer._codebooks = [stacked[subspace] for subspace in range(num_subspaces)]
+        quantizer._subdim = int(stacked.shape[2])
+        quantizer._dim = quantizer._subdim * num_subspaces
+        return quantizer
 
     def encode(self, vectors: np.ndarray) -> np.ndarray:
         """Encode vectors into ``(n, P)`` arrays of centroid indices."""

@@ -1,0 +1,375 @@
+"""Snapshot persistence: round-trip parity, error paths, and the manifest.
+
+Covers the acceptance criteria of the persistence subsystem: a
+saved-then-loaded system returns bit-identical ``query()`` /
+``query_batch()`` results for all three index families, corrupted or
+version-skewed snapshots fail with the typed :class:`PersistenceError`
+hierarchy (never bare ``IOError``/``ValueError``), and
+:class:`MetadataStore` records survive the columnar round trip for
+arbitrary values (hypothesis property test).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import LOVO, LOVOConfig
+from repro.config import EncoderConfig, IndexConfig, KeyframeConfig, QueryConfig
+from repro.core.storage import LOVOStorage
+from repro.errors import (
+    PersistenceError,
+    ReproError,
+    SnapshotCorruptionError,
+    SnapshotVersionError,
+)
+from repro.persist import SNAPSHOT_SCHEMA_VERSION, read_manifest
+from repro.utils.geometry import BoundingBox
+from repro.vectordb.collection import VectorCollection
+from repro.vectordb.database import VectorDatabase
+from repro.vectordb.metadata import FrameRecord, MetadataStore, PatchRecord
+from repro.video.datasets import make_bellevue, make_cityscapes
+
+QUERIES = [
+    "A red car driving in the center of the road",
+    "A woman in a black dress",
+    "A red car side by side with another car",
+]
+
+
+def persist_config(index_type: str) -> LOVOConfig:
+    """A small configuration exercising the given index family."""
+    return LOVOConfig(
+        encoder=EncoderConfig(embedding_dim=64, class_embedding_dim=32, patch_grid=6),
+        keyframes=KeyframeConfig(strategy="uniform", uniform_stride=10),
+        index=IndexConfig(
+            index_type=index_type,
+            num_subspaces=4,
+            num_centroids=16,
+            num_coarse_clusters=8,
+            nprobe=3,
+        ),
+        query=QueryConfig(fast_search_k=64, rerank_n=10, max_candidate_frames=20),
+    )
+
+
+def ingested_system(index_type: str) -> LOVO:
+    system = LOVO(persist_config(index_type))
+    system.ingest(make_bellevue(num_videos=1, frames_per_video=80))
+    return system
+
+
+def result_tuples(response):
+    return [(r.frame_id, r.patch_id, r.score, r.box) for r in response.results]
+
+
+@pytest.fixture(scope="module", params=["flat", "hnsw", "ivfpq"])
+def saved_system(request, tmp_path_factory):
+    """One ingested-and-saved system per index family (module-scoped)."""
+    system = ingested_system(request.param)
+    root = tmp_path_factory.mktemp(f"snapshot_{request.param}")
+    manifest = system.save(root)
+    return request.param, system, root, manifest
+
+
+class TestRoundTripParity:
+    def test_query_results_bit_identical(self, saved_system):
+        _, system, root, _ = saved_system
+        loaded = LOVO.load(root)
+        for text in QUERIES:
+            assert result_tuples(loaded.query(text)) == result_tuples(system.query(text))
+
+    def test_query_batch_bit_identical(self, saved_system):
+        _, system, root, _ = saved_system
+        loaded = LOVO.load(root)
+        before = system.query_batch(QUERIES)
+        after = loaded.query_batch(QUERIES)
+        for response_before, response_after in zip(before.responses, after.responses):
+            assert result_tuples(response_after) == result_tuples(response_before)
+
+    def test_counters_and_reports_survive(self, saved_system):
+        index_type, system, root, manifest = saved_system
+        loaded = LOVO.load(root)
+        assert loaded.num_entities == system.num_entities
+        assert loaded.num_keyframes == system.num_keyframes
+        assert loaded.ingested_datasets == system.ingested_datasets
+        report = loaded.storage_report()
+        assert report["index_type"] == index_type
+        assert report["num_entities"] == system.num_entities
+        assert manifest.info["index_type"] == index_type
+
+    def test_loaded_system_supports_further_ingest(self, saved_system):
+        _, _, root, _ = saved_system
+        loaded = LOVO.load(root)
+        before_entities = loaded.num_entities
+        loaded.ingest(make_cityscapes(num_videos=1, frames_per_video=40))
+        assert loaded.num_entities > before_entities
+        assert loaded.query(QUERIES[0]).results
+
+    def test_custom_reranker_config_survives(self, tmp_path):
+        from repro.encoders.cross_modal import RerankerConfig
+
+        custom = RerankerConfig(relation_bonus=0.9, relation_penalty=0.5, seed=99)
+        system = LOVO(persist_config("flat"), custom)
+        system.ingest(make_bellevue(num_videos=1, frames_per_video=60))
+        system.save(tmp_path / "snap")
+        loaded = LOVO.load(tmp_path / "snap")
+        assert loaded._reranker.config == custom
+        for text in QUERIES[:2]:
+            assert result_tuples(loaded.query(text)) == result_tuples(system.query(text))
+
+    def test_ablation_paths_survive(self, tmp_path):
+        config = persist_config("flat").with_overrides(
+            query=QueryConfig(
+                fast_search_k=64, rerank_n=10, max_candidate_frames=20,
+                rerank_enabled=False, ann_enabled=False,
+            )
+        )
+        system = LOVO(config)
+        system.ingest(make_bellevue(num_videos=1, frames_per_video=60))
+        system.save(tmp_path / "snap")
+        loaded = LOVO.load(tmp_path / "snap")
+        assert loaded.config.query.rerank_enabled is False
+        for text in QUERIES[:2]:
+            assert result_tuples(loaded.query(text)) == result_tuples(system.query(text))
+
+
+class TestManifest:
+    def test_manifest_contents(self, saved_system):
+        _, system, root, manifest = saved_system
+        reread = read_manifest(root)
+        assert reread.schema_version == SNAPSHOT_SCHEMA_VERSION
+        assert reread.repro_version == repro.__version__
+        assert reread.config_hash == manifest.config_hash
+        assert reread.artifacts  # every non-manifest file is checksummed
+        listed = {Path(name) for name in reread.artifacts}
+        on_disk = {
+            path.relative_to(root)
+            for path in root.rglob("*")
+            if path.is_file() and path.name != "manifest.json"
+        }
+        assert listed == on_disk
+
+    def test_save_requires_ingest(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            LOVO(persist_config("flat")).save(tmp_path / "empty")
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            LOVO.load(tmp_path / "nowhere")
+
+    def test_version_skew_rejected(self, tmp_path):
+        system = ingested_system("flat")
+        root = tmp_path / "snap"
+        system.save(root)
+        manifest_path = root / "manifest.json"
+        document = json.loads(manifest_path.read_text())
+        document["schema_version"] = SNAPSHOT_SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotVersionError):
+            LOVO.load(root)
+
+    def test_corrupted_artifact_rejected(self, tmp_path):
+        system = ingested_system("flat")
+        root = tmp_path / "snap"
+        system.save(root)
+        payload = root / "storage" / "metadata.npz"
+        payload.write_bytes(b"\x00" + payload.read_bytes()[1:])
+        with pytest.raises(SnapshotCorruptionError):
+            LOVO.load(root)
+
+    def test_missing_artifact_rejected(self, tmp_path):
+        system = ingested_system("flat")
+        root = tmp_path / "snap"
+        system.save(root)
+        (root / "frames.json").unlink()
+        with pytest.raises(PersistenceError):
+            LOVO.load(root)
+
+    def test_non_numeric_schema_version_rejected(self, tmp_path):
+        system = ingested_system("flat")
+        root = tmp_path / "snap"
+        system.save(root)
+        manifest_path = root / "manifest.json"
+        document = json.loads(manifest_path.read_text())
+        document["schema_version"] = "garbage"
+        manifest_path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotCorruptionError):
+            LOVO.load(root)
+
+    def test_resave_removes_stale_manifest_first(self, tmp_path):
+        system = ingested_system("flat")
+        root = tmp_path / "snap"
+        system.save(root)
+        system.save(root)  # overwrite in place
+        loaded = LOVO.load(root)
+        assert loaded.num_entities == system.num_entities
+
+    def test_layer_level_loads_raise_typed_errors(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            VectorCollection.load(tmp_path / "missing")
+        with pytest.raises(PersistenceError):
+            VectorDatabase.load(tmp_path / "missing")
+        with pytest.raises(PersistenceError):
+            LOVOStorage.load(tmp_path / "missing")
+        with pytest.raises(PersistenceError):
+            MetadataStore.load(tmp_path / "missing.npz")
+
+    def test_unparsable_manifest_rejected(self, tmp_path):
+        system = ingested_system("flat")
+        root = tmp_path / "snap"
+        system.save(root)
+        (root / "manifest.json").write_text("{not json")
+        with pytest.raises(SnapshotCorruptionError):
+            LOVO.load(root)
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(PersistenceError, ReproError)
+        assert issubclass(SnapshotVersionError, PersistenceError)
+        assert issubclass(SnapshotCorruptionError, PersistenceError)
+
+
+class TestVectorLayers:
+    def test_collection_round_trip_and_post_load_insert(self, tmp_path):
+        rng = np.random.default_rng(3)
+        vectors = rng.normal(size=(40, 16))
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        collection = VectorCollection("patches", 16, IndexConfig(index_type="flat"))
+        ids = [f"p{i:03d}" for i in range(40)]
+        collection.insert(ids, vectors, [{"frame_id": f"f{i % 5}"} for i in range(40)])
+        collection.save(tmp_path / "col")
+        loaded = VectorCollection.load(tmp_path / "col")
+        query = vectors[7]
+        assert [(h.id, h.score) for h in loaded.search(query, 5)] == [
+            (h.id, h.score) for h in collection.search(query, 5)
+        ]
+        assert loaded.get_metadata("p003") == collection.get_metadata("p003")
+        # Inserting after a load must extend, not clobber, the restored state.
+        extra = rng.normal(size=(4, 16))
+        extra /= np.linalg.norm(extra, axis=1, keepdims=True)
+        loaded.insert([f"q{i}" for i in range(4)], extra)
+        assert loaded.num_entities == 44
+        assert loaded.search(extra[0], 1)[0].id == "q0"
+        assert "p007" in [h.id for h in loaded.search(query, 3)]
+
+    def test_flat_and_hnsw_snapshots_store_vectors_once(self, tmp_path):
+        rng = np.random.default_rng(9)
+        vectors = rng.normal(size=(30, 16))
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        for index_type in ("flat", "hnsw"):
+            collection = VectorCollection("c", 16, IndexConfig(index_type=index_type))
+            collection.insert([f"{index_type}{i}" for i in range(30)], vectors)
+            collection.save(tmp_path / index_type)
+            entities = np.load(tmp_path / index_type / "entities.npz")
+            assert "vectors" not in entities.files  # carried by the index state
+            loaded = VectorCollection.load(tmp_path / index_type)
+            assert np.array_equal(loaded.get_vector(f"{index_type}3"), vectors[3])
+
+    def test_empty_collection_round_trip(self, tmp_path):
+        collection = VectorCollection("empty", 8, IndexConfig(index_type="flat"))
+        collection.save(tmp_path / "col")
+        loaded = VectorCollection.load(tmp_path / "col")
+        assert loaded.num_entities == 0
+        assert loaded.search(np.zeros(8), 3) == []
+
+    def test_database_round_trip(self, tmp_path):
+        database = VectorDatabase()
+        rng = np.random.default_rng(5)
+        for name in ("alpha", "beta"):
+            collection = database.create_collection(name, 8, IndexConfig(index_type="flat"))
+            collection.insert([f"{name}{i}" for i in range(6)], rng.normal(size=(6, 8)))
+        database.save(tmp_path / "db")
+        loaded = VectorDatabase.load(tmp_path / "db")
+        assert loaded.list_collections() == ["alpha", "beta"]
+        assert loaded.total_entities() == database.total_entities()
+
+    def test_storage_round_trip(self, tmp_path):
+        system = ingested_system("ivfpq")
+        storage = system.storage
+        storage.save(tmp_path / "storage")
+        loaded = LOVOStorage.load(tmp_path / "storage")
+        assert loaded.num_entities == storage.num_entities
+        assert loaded.index_type == "ivfpq"
+        assert loaded.metadata.count_frames() == storage.metadata.count_frames()
+        assert loaded.metadata.count_patches() == storage.metadata.count_patches()
+        some_patch = storage.metadata.list_patches()[0]
+        assert loaded.patch_record(some_patch.patch_id) == some_patch
+
+
+identifiers = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N"), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=12,
+)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+sizes = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+
+frame_records = st.builds(
+    FrameRecord,
+    frame_id=identifiers,
+    video_id=identifiers,
+    frame_index=st.integers(min_value=0, max_value=10**6),
+    timestamp=finite,
+)
+patch_records = st.builds(
+    PatchRecord,
+    patch_id=identifiers,
+    frame_id=identifiers,
+    video_id=identifiers,
+    patch_index=st.integers(min_value=0, max_value=10**4),
+    box=st.builds(BoundingBox, x=finite, y=finite, w=sizes, h=sizes),
+    objectness=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+class TestMetadataRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        frames=st.lists(frame_records, max_size=8, unique_by=lambda r: r.frame_id),
+        patches=st.lists(patch_records, max_size=8, unique_by=lambda r: r.patch_id),
+    )
+    def test_records_survive_columnar_round_trip(self, frames, patches):
+        store = MetadataStore()
+        store.add_frames(frames)
+        store.add_patches(patches)
+        loaded = MetadataStore.from_arrays(store.to_arrays())
+        assert sorted(loaded.list_frames(), key=lambda r: r.frame_id) == sorted(
+            store.list_frames(), key=lambda r: r.frame_id
+        )
+        assert sorted(loaded.list_patches(), key=lambda r: r.patch_id) == sorted(
+            store.list_patches(), key=lambda r: r.patch_id
+        )
+
+    def test_save_load_file(self, tmp_path):
+        store = MetadataStore()
+        store.add_frames([FrameRecord("f0", "v0", 0, 0.5)])
+        store.add_patches(
+            [PatchRecord("p0", "f0", "v0", 3, BoundingBox(0.1, 0.2, 0.3, 0.4), 0.9)]
+        )
+        store.save(tmp_path / "meta.npz")
+        loaded = MetadataStore.load(tmp_path / "meta.npz")
+        assert loaded.get_patch("p0") == store.get_patch("p0")
+        assert loaded.get_frame("f0") == store.get_frame("f0")
+
+    def test_missing_column_rejected(self):
+        store = MetadataStore()
+        arrays = store.to_arrays()
+        del arrays["patch_boxes"]
+        with pytest.raises(SnapshotCorruptionError):
+            MetadataStore.from_arrays(arrays)
+
+
+class TestVersionSingleSourcing:
+    def test_version_matches_pyproject(self):
+        pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        assert f'version = "{repro.__version__}"' in pyproject.read_text()
+
+    def test_version_stamped_into_manifest(self, saved_system):
+        _, _, _, manifest = saved_system
+        assert manifest.repro_version == repro.__version__
