@@ -1,0 +1,154 @@
+"""Served throughput under concurrent load: the micro-batching engine vs serial.
+
+The serving subsystem's claim is that micro-batching turns the batched
+engine's amortisation (``query_batch``) into *served* throughput when many
+independent clients each issue single queries.  This benchmark runs 16
+concurrent client threads against a :class:`~repro.serve.ServingEngine`
+(result cache disabled, so every request really exercises the engine) and
+compares queries/sec against a serial single-query ``LOVO.query`` loop over
+the same workload.
+
+The flat-index configuration is the acceptance gate: the served path must
+deliver at least 2x the serial throughput, and every concurrently served
+response must be bit-identical to the serial answer for the same query.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List
+
+from repro import LOVO, ServeConfig
+from repro.eval.reporting import format_table
+from repro.eval.workloads import queries_for_dataset
+from repro.serve import ServingEngine
+
+from conftest import bench_lovo_config, report
+
+NUM_CLIENTS = 16
+QUERIES_PER_CLIENT = 8
+#: How many queries the serial baseline answers (kept smaller than the served
+#: workload — throughput is a rate, so the comparison stays fair).
+SERIAL_QUERIES = 24
+DATASET = "bellevue"
+NUM_VIDEOS = 1
+FRAMES_PER_VIDEO = 200
+
+SERVE_CONFIG = ServeConfig(
+    num_workers=2,
+    max_batch_size=NUM_CLIENTS * 2,
+    max_wait_ms=4.0,
+    queue_size=1024,
+    cache_size=0,  # prove micro-batching, not caching
+)
+
+
+def _tiled_queries(dataset_name: str, count: int) -> List[str]:
+    """The dataset's Table II queries repeated up to ``count``."""
+    texts = [spec.text for spec in queries_for_dataset(dataset_name)]
+    return (texts * (count // len(texts) + 1))[:count]
+
+
+def _ingested_system(bench_env, index_type: str) -> LOVO:
+    system = LOVO(bench_lovo_config(index_type))
+    system.ingest(bench_env.dataset(DATASET, NUM_VIDEOS, FRAMES_PER_VIDEO))
+    return system
+
+
+def _result_key(response) -> List[tuple]:
+    return [(r.frame_id, r.patch_id, r.score) for r in response.results]
+
+
+def measure_index_type(bench_env, index_type: str) -> Dict[str, float]:
+    """Serial and concurrently-served queries/sec for one index family."""
+    serial_system = _ingested_system(bench_env, index_type)
+    served_system = _ingested_system(bench_env, index_type)
+
+    serial_texts = _tiled_queries(DATASET, SERIAL_QUERIES)
+    start = time.perf_counter()
+    serial_responses = {text: serial_system.query(text) for text in serial_texts}
+    serial_qps = len(serial_texts) / (time.perf_counter() - start)
+
+    client_texts = _tiled_queries(DATASET, QUERIES_PER_CLIENT)
+    served_responses: Dict[str, list] = {}
+    errors: List[BaseException] = []
+
+    def client(offset: int) -> None:
+        try:
+            rotation = client_texts[offset:] + client_texts[:offset]
+            for text in rotation:
+                response = engine.query(text, timeout=120.0)
+                served_responses.setdefault(text, _result_key(response))
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    with ServingEngine(served_system, SERVE_CONFIG) as engine:
+        threads = [
+            threading.Thread(target=client, args=(i % len(client_texts),))
+            for i in range(NUM_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        served_seconds = time.perf_counter() - start
+        stats = engine.stats()
+    if errors:
+        raise errors[0]
+    served_qps = (NUM_CLIENTS * QUERIES_PER_CLIENT) / served_seconds
+
+    # Acceptance: every served answer is bit-identical to the serial one.
+    for text in set(client_texts):
+        assert served_responses[text] == _result_key(serial_responses[text]), text
+
+    return {
+        "serial_qps": serial_qps,
+        "served_qps": served_qps,
+        "speedup": served_qps / serial_qps,
+        "mean_batch_size": stats["batches"]["mean_size"],
+        "p95_latency_ms": stats["latency_ms"]["p95"],
+    }
+
+
+def run_serve_throughput(bench_env) -> Dict[str, Dict[str, float]]:
+    """Served-vs-serial throughput across all three index families."""
+    return {
+        index_type: measure_index_type(bench_env, index_type)
+        for index_type in ("flat", "ivfpq", "hnsw")
+    }
+
+
+def test_serve_throughput(benchmark, bench_env):
+    results = benchmark.pedantic(
+        run_serve_throughput, args=(bench_env,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            index_type,
+            f"{values['serial_qps']:.1f}",
+            f"{values['served_qps']:.1f}",
+            f"{values['speedup']:.1f}x",
+            f"{values['mean_batch_size']:.1f}",
+            f"{values['p95_latency_ms']:.0f}",
+        ]
+        for index_type, values in results.items()
+    ]
+    table = format_table(
+        ["index", "serial (q/s)", "served (q/s)", "speedup", "mean batch", "p95 (ms)"],
+        rows,
+        title=(
+            f"Served query throughput ({NUM_CLIENTS} concurrent clients, "
+            f"{DATASET}, cache disabled)"
+        ),
+    )
+    report("serve_throughput", table)
+
+    # Acceptance gate: micro-batching must deliver >= 2x serial throughput on
+    # the flat index for 16 concurrent clients, and never serve slower than
+    # the serial loop on any index family.
+    assert results["flat"]["speedup"] >= 2.0
+    for values in results.values():
+        assert values["speedup"] >= 1.0

@@ -10,6 +10,9 @@ Public API overview
 * :mod:`repro.video` — synthetic stand-ins for the paper's datasets.
 * :mod:`repro.baselines` — VOCAL, MIRIS, FiGO, ZELDA, UMT, and VISA baselines.
 * :mod:`repro.eval` — the query workloads of Table II and the AveP metric.
+* :mod:`repro.serve` — the concurrent query service: micro-batching worker
+  pool, TTL+LRU result cache, service metrics, and an HTTP frontend
+  (``python -m repro.serve --snapshot <dir> --port 8080``).
 """
 
 from repro.config import (
@@ -18,10 +21,16 @@ from repro.config import (
     KeyframeConfig,
     LOVOConfig,
     QueryConfig,
+    ServeConfig,
 )
 from repro.core.results import BatchQueryResponse, ObjectQueryResult, QueryResponse
 from repro.core.system import LOVO
-from repro.errors import ReproError
+from repro.errors import (
+    ReproError,
+    ServiceOverloadedError,
+    ServingError,
+    SystemNotReadyError,
+)
 
 
 def _resolve_version() -> str:
@@ -60,9 +69,13 @@ __all__ = [
     "KeyframeConfig",
     "IndexConfig",
     "QueryConfig",
+    "ServeConfig",
     "QueryResponse",
     "BatchQueryResponse",
     "ObjectQueryResult",
     "ReproError",
+    "ServingError",
+    "ServiceOverloadedError",
+    "SystemNotReadyError",
     "__version__",
 ]

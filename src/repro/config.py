@@ -156,6 +156,65 @@ class QueryConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of the concurrent query-serving subsystem (:mod:`repro.serve`).
+
+    Attributes:
+        num_workers: Worker threads pulling micro-batches off the admission
+            queue.  Each worker answers one coalesced ``query_batch`` call at
+            a time.
+        max_batch_size: Upper bound on how many queued queries one micro-batch
+            may coalesce.
+        max_wait_ms: How long the micro-batcher waits for more queries to
+            arrive after the first one, trading a little latency for batching
+            opportunity under concurrent load.
+        queue_size: Admission-queue capacity; submissions beyond it are
+            rejected with :class:`~repro.errors.ServiceOverloadedError`
+            (backpressure instead of unbounded memory growth).
+        cache_size: Maximum entries of the TTL+LRU result cache; ``0``
+            disables response caching entirely.
+        cache_ttl_seconds: How long a cached response stays valid.
+        request_timeout_seconds: How long a synchronous caller (including the
+            HTTP frontend) waits for its future before giving up.
+        metrics_window: Number of most-recent request latencies kept for the
+            percentile estimates in the service metrics.
+        host: Bind address of the HTTP frontend.
+        port: TCP port of the HTTP frontend (``0`` picks an ephemeral port).
+    """
+
+    num_workers: int = 2
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    queue_size: int = 256
+    cache_size: int = 1024
+    cache_ttl_seconds: float = 30.0
+    request_timeout_seconds: float = 30.0
+    metrics_window: int = 2048
+    host: str = "127.0.0.1"
+    port: int = 8080
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
+        if self.max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+        if self.max_wait_ms < 0:
+            raise ConfigurationError("max_wait_ms must be non-negative")
+        if self.queue_size <= 0:
+            raise ConfigurationError("queue_size must be positive")
+        if self.cache_size < 0:
+            raise ConfigurationError("cache_size must be non-negative (0 disables)")
+        if self.cache_ttl_seconds <= 0:
+            raise ConfigurationError("cache_ttl_seconds must be positive")
+        if self.request_timeout_seconds <= 0:
+            raise ConfigurationError("request_timeout_seconds must be positive")
+        if self.metrics_window <= 0:
+            raise ConfigurationError("metrics_window must be positive")
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError("port must lie in [0, 65535]")
+
+
+@dataclass(frozen=True)
 class LOVOConfig:
     """Top-level configuration bundling every subsystem."""
 
@@ -163,6 +222,7 @@ class LOVOConfig:
     keyframes: KeyframeConfig = field(default_factory=KeyframeConfig)
     index: IndexConfig = field(default_factory=IndexConfig)
     query: QueryConfig = field(default_factory=QueryConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
 
     def with_overrides(
         self,
@@ -170,6 +230,7 @@ class LOVOConfig:
         keyframes: KeyframeConfig | None = None,
         index: IndexConfig | None = None,
         query: QueryConfig | None = None,
+        serve: ServeConfig | None = None,
     ) -> "LOVOConfig":
         """Return a copy with selected sub-configurations replaced."""
         return LOVOConfig(
@@ -177,6 +238,7 @@ class LOVOConfig:
             keyframes=keyframes or self.keyframes,
             index=index or self.index,
             query=query or self.query,
+            serve=serve or self.serve,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -201,6 +263,9 @@ class LOVOConfig:
             "keyframes": KeyframeConfig,
             "index": IndexConfig,
             "query": QueryConfig,
+            # Snapshots written before the serving subsystem carry no "serve"
+            # section; ``payload.get`` below falls back to the defaults.
+            "serve": ServeConfig,
         }
         unknown = set(payload) - set(sections)
         if unknown:

@@ -14,6 +14,7 @@ API:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -25,7 +26,7 @@ from repro.core.storage import LOVOStorage
 from repro.core.summary import SummaryOutput, VideoSummarizer
 from repro.encoders.cross_modal import CrossModalityReranker, RerankerConfig
 from repro.encoders.text import TextEncoder
-from repro.errors import PersistenceError, QueryError, SnapshotCorruptionError
+from repro.errors import PersistenceError, SnapshotCorruptionError, SystemNotReadyError
 from repro.persist.manifest import SnapshotManifest
 from repro.persist.snapshot import load_system, save_system
 from repro.utils.timing import PhaseTimer
@@ -33,7 +34,17 @@ from repro.video.model import Frame, VideoDataset
 
 
 class LOVO:
-    """Complex-object-query system over large-scale (synthetic) video data."""
+    """Complex-object-query system over large-scale (synthetic) video data.
+
+    Thread safety: once built (via :meth:`ingest` or :meth:`load`), the query
+    path — :meth:`query` and :meth:`query_batch` — is safe to call from many
+    threads at once; the shared pieces it touches (the text-encoder LRU
+    caches, the lazily built reranker layers, the phase timer) synchronize
+    internally, and everything else is read-only.  The serving subsystem
+    (:mod:`repro.serve`) relies on this.  :meth:`ingest` itself is serialized
+    by an internal lock, but running it *concurrently with* queries gives no
+    atomicity guarantee about which queries see the newly ingested data.
+    """
 
     def __init__(
         self,
@@ -57,6 +68,7 @@ class LOVO:
         self._timer = PhaseTimer()
         self._summary: Optional[SummaryOutput] = None
         self._datasets: List[str] = []
+        self._ingest_lock = threading.Lock()
 
     @property
     def config(self) -> LOVOConfig:
@@ -82,7 +94,7 @@ class LOVO:
     def storage(self) -> LOVOStorage:
         """The database storage module; raises before :meth:`ingest`."""
         if self._storage is None:
-            raise QueryError("No dataset has been ingested yet")
+            raise SystemNotReadyError("No dataset has been ingested yet")
         return self._storage
 
     @property
@@ -106,6 +118,10 @@ class LOVO:
         May be called several times to grow the index incrementally (new
         datasets are appended to the same collection).
         """
+        with self._ingest_lock:
+            return self._ingest_locked(dataset)
+
+    def _ingest_locked(self, dataset: VideoDataset) -> SummaryOutput:
         processing_timer = PhaseTimer()
         summary = self._summarizer.summarize(dataset, timer=processing_timer)
         self._timer.add("processing", processing_timer.total("keyframes", "encoding"))
@@ -147,7 +163,7 @@ class LOVO:
     def query(self, text: str, top_n: int | None = None) -> QueryResponse:
         """Answer one complex object query (Algorithm 2)."""
         if self._strategy is None:
-            raise QueryError("Call ingest() before query()")
+            raise SystemNotReadyError("Call ingest() before query()")
         response = self._strategy.query(text, top_n=top_n)
         for phase, seconds in response.timings.items():
             self._timer.add(phase, seconds)
@@ -164,7 +180,7 @@ class LOVO:
         query concurrency instead of paying the full pipeline per call.
         """
         if self._strategy is None:
-            raise QueryError("Call ingest() before query_batch()")
+            raise SystemNotReadyError("Call ingest() before query_batch()")
         batch = self._strategy.query_batch(texts, top_n=top_n)
         for phase, seconds in batch.timings.items():
             self._timer.add(phase, seconds)

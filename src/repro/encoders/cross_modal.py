@@ -23,6 +23,7 @@ ablation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -120,21 +121,25 @@ class CrossModalityReranker:
         # use: they dominate construction cost, and query-free paths — e.g.
         # warm-starting a system from a snapshot and serving only fast-search
         # queries — never need them.  The weights are deterministic given the
-        # seed, so laziness cannot change any score.
+        # seed, so laziness cannot change any score; the lock only stops
+        # concurrent serving workers from each paying the build cost.
         self._layers: tuple[List[CrossModalLayer], List[CrossModalLayer]] | None = None
+        self._build_lock = threading.Lock()
 
     def _build_layers(self) -> tuple[List["CrossModalLayer"], List["CrossModalLayer"]]:
         if self._layers is None:
-            dim = self._space.dim
-            enhancers = [
-                CrossModalLayer(dim, self._config.hidden_dim, f"enhancer{i}", seed=self._config.seed)
-                for i in range(self._config.num_enhancer_layers)
-            ]
-            decoders = [
-                CrossModalLayer(dim, self._config.hidden_dim, f"decoder{i}", seed=self._config.seed)
-                for i in range(self._config.num_decoder_layers)
-            ]
-            self._layers = (enhancers, decoders)
+            with self._build_lock:
+                if self._layers is None:
+                    dim = self._space.dim
+                    enhancers = [
+                        CrossModalLayer(dim, self._config.hidden_dim, f"enhancer{i}", seed=self._config.seed)
+                        for i in range(self._config.num_enhancer_layers)
+                    ]
+                    decoders = [
+                        CrossModalLayer(dim, self._config.hidden_dim, f"decoder{i}", seed=self._config.seed)
+                        for i in range(self._config.num_decoder_layers)
+                    ]
+                    self._layers = (enhancers, decoders)
         return self._layers
 
     @property

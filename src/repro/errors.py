@@ -52,6 +52,15 @@ class QueryError(ReproError):
     """Raised when a query cannot be parsed or executed."""
 
 
+class SystemNotReadyError(QueryError):
+    """Raised when querying a system that has not ingested (or loaded) data.
+
+    Subclasses :class:`QueryError` for backwards compatibility, but exists as
+    its own type so a serving frontend can map "nothing to query yet" to a
+    clean *503 Service Unavailable* instead of a generic server error.
+    """
+
+
 class UnsupportedQueryError(QueryError):
     """Raised by baseline systems that cannot express a given query.
 
@@ -79,3 +88,21 @@ class SnapshotVersionError(PersistenceError):
 
 class SnapshotCorruptionError(PersistenceError):
     """Raised when a snapshot artifact fails checksum or structural validation."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the concurrent serving subsystem.
+
+    Covers lifecycle misuse (submitting to a stopped engine, starting twice)
+    and everything below; request-level errors keep their query-layer types
+    (:class:`QueryError` and friends) so HTTP status mapping stays precise.
+    """
+
+
+class ServiceOverloadedError(ServingError):
+    """Raised when the serving engine's admission queue is full.
+
+    This is backpressure, not failure: the caller should retry after a short
+    delay.  The HTTP frontend maps it to *503 Service Unavailable* with a
+    ``Retry-After`` header.
+    """

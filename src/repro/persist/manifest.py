@@ -56,10 +56,22 @@ def sha256_file(path: str | Path) -> str:
     return digest.hexdigest()
 
 
+def config_payload_hash(payload: Dict[str, Any]) -> str:
+    """Deterministic hash of a configuration *as stored* in ``config.json``.
+
+    Verification hashes the stored payload rather than a re-serialised
+    :class:`LOVOConfig`, so snapshots written before a configuration section
+    existed (e.g. pre-serving snapshots without a ``serve`` block) keep
+    validating after the schema grows: parsing fills new sections with
+    defaults, but the hash is only over what was actually saved.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def config_hash(config: LOVOConfig) -> str:
     """Deterministic hash of a full system configuration."""
-    canonical = json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return config_payload_hash(config.to_dict())
 
 
 def write_manifest(root: str | Path, manifest: SnapshotManifest) -> None:

@@ -36,6 +36,7 @@ from repro.persist.manifest import (
     SnapshotManifest,
     collect_artifacts,
     config_hash,
+    config_payload_hash,
     read_manifest,
     verify_artifacts,
     write_manifest,
@@ -130,12 +131,15 @@ def load_system(path: str | Path) -> RestoredSystem:
     manifest = read_manifest(root)
     verify_artifacts(root, manifest)
     try:
-        config = LOVOConfig.from_dict(load_json(root / "config.json"))
-        if config_hash(config) != manifest.config_hash:
+        config_doc = load_json(root / "config.json")
+        # Hash the payload *as stored*: parsing may add newer configuration
+        # sections (with defaults) that an older snapshot legitimately lacks.
+        if config_payload_hash(config_doc) != manifest.config_hash:
             raise SnapshotCorruptionError(
                 f"Snapshot at {root} has a configuration that does not match "
                 "its manifest's config hash"
             )
+        config = LOVOConfig.from_dict(config_doc)
         system_doc = load_json(root / "system.json")
         frames_doc = load_json(root / "frames.json")
         keyframes = frames_from_list(frames_doc.get("keyframes", []))

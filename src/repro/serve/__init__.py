@@ -1,0 +1,44 @@
+"""Concurrent query-serving subsystem.
+
+Turns a built :class:`~repro.core.system.LOVO` system into a service: a
+micro-batching scheduler coalesces concurrently submitted queries into
+batched engine passes (:mod:`repro.serve.batcher`), a worker pool with
+bounded-queue admission control executes them (:mod:`repro.serve.engine`), a
+TTL+LRU cache answers repeated queries for free (:mod:`repro.serve.cache`),
+service metrics expose QPS / latency percentiles / batch sizes
+(:mod:`repro.serve.metrics`), and a stdlib-only HTTP frontend serves it all
+over the wire (:mod:`repro.serve.http`).
+
+Quick start (in-process)::
+
+    from repro.serve import ServingEngine
+
+    engine = ServingEngine.from_snapshot("snapshots/bellevue")
+    with engine:
+        response = engine.query("A red car driving in the center of the road")
+
+Or over HTTP::
+
+    python -m repro.serve --snapshot snapshots/bellevue --port 8080
+"""
+
+from repro.config import ServeConfig
+from repro.serve.batcher import MicroBatcher, PendingQuery
+from repro.serve.cache import ResultCache, TTLLRUCache, normalize_query_text
+from repro.serve.engine import ServingEngine
+from repro.serve.http import LOVOHTTPServer, make_server, serve_forever
+from repro.serve.metrics import ServiceMetrics
+
+__all__ = [
+    "ServeConfig",
+    "ServingEngine",
+    "MicroBatcher",
+    "PendingQuery",
+    "ResultCache",
+    "TTLLRUCache",
+    "normalize_query_text",
+    "ServiceMetrics",
+    "LOVOHTTPServer",
+    "make_server",
+    "serve_forever",
+]

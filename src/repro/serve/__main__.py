@@ -1,0 +1,80 @@
+"""Command-line entrypoint: serve a persisted LOVO snapshot over HTTP.
+
+Usage::
+
+    python -m repro.serve --snapshot snapshots/bellevue --port 8080
+
+The snapshot is warm-loaded (no video processing), the serving configuration
+defaults to the snapshot's stored ``serve`` block, and any flag given here
+overrides that block for this deployment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro.config import ServeConfig
+from repro.errors import ReproError
+from repro.serve.engine import ServingEngine
+from repro.serve.http import serve_forever
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve complex object queries from a persisted LOVO snapshot.",
+    )
+    parser.add_argument(
+        "--snapshot", required=True,
+        help="Snapshot directory written by LOVO.save()",
+    )
+    parser.add_argument("--host", help="Bind address (default: snapshot config)")
+    parser.add_argument("--port", type=int, help="TCP port; 0 picks an ephemeral port")
+    parser.add_argument("--workers", type=int, dest="num_workers",
+                        help="Worker threads in the serving pool")
+    parser.add_argument("--max-batch-size", type=int, dest="max_batch_size",
+                        help="Micro-batch size cap")
+    parser.add_argument("--max-wait-ms", type=float, dest="max_wait_ms",
+                        help="Micro-batch coalescing window in milliseconds")
+    parser.add_argument("--queue-size", type=int, dest="queue_size",
+                        help="Admission queue capacity (backpressure bound)")
+    parser.add_argument("--cache-size", type=int, dest="cache_size",
+                        help="Result cache entries (0 disables caching)")
+    parser.add_argument("--cache-ttl", type=float, dest="cache_ttl_seconds",
+                        help="Result cache TTL in seconds")
+    return parser
+
+
+def serve_config_from_args(base: ServeConfig, args: argparse.Namespace) -> ServeConfig:
+    """The snapshot's serve config with any CLI overrides applied."""
+    overrides = {
+        name: value
+        for name, value in vars(args).items()
+        if name != "snapshot" and value is not None
+    }
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        engine = ServingEngine.from_snapshot(args.snapshot)
+    except ReproError as error:
+        print(f"Failed to load snapshot {args.snapshot!r}: {error}", file=sys.stderr)
+        return 1
+    config = serve_config_from_args(engine.config, args)
+    if config is not engine.config:
+        engine = ServingEngine(engine.system, config)
+    system = engine.system
+    print(
+        f"Loaded snapshot {args.snapshot!r}: {system.num_entities} vectors, "
+        f"{system.num_keyframes} key frames, index={system.storage.index_type}"
+    )
+    serve_forever(engine)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,306 @@
+"""The concurrent query-serving engine: worker pool over the batched LOVO core.
+
+:class:`ServingEngine` turns one built :class:`~repro.core.system.LOVO`
+system into a service that many callers can hit at once:
+
+* **admission control** — submissions land on the micro-batcher's bounded
+  queue; a full queue rejects with
+  :class:`~repro.errors.ServiceOverloadedError` instead of growing without
+  bound;
+* **micro-batching** — worker threads pull *coalesced* batches and answer
+  each with one ``query_batch`` engine pass, so served throughput gets the
+  batched engine's amortisation under concurrent single-query load;
+* **result caching** — a TTL+LRU cache keyed on normalized query text and
+  retrieval depths answers repeated queries without touching the engine;
+* **graceful lifecycle** — :meth:`stop` drains everything already admitted
+  before the workers exit, so no accepted request is dropped.
+
+Per-query results are bit-identical to calling ``LOVO.query`` serially: the
+batched engine guarantees parity per query, and batch composition cannot
+change any individual query's answer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ServeConfig
+from repro.core.results import QueryResponse
+from repro.core.system import LOVO
+from repro.errors import QueryError, ServiceOverloadedError, ServingError
+from repro.serve.batcher import MicroBatcher, PendingQuery
+from repro.serve.cache import ResultCache
+from repro.serve.metrics import ServiceMetrics
+
+
+class ServingEngine:
+    """Concurrent query service around one built LOVO system."""
+
+    def __init__(self, system: LOVO, config: ServeConfig | None = None) -> None:
+        self._system = system
+        self._config = config or system.config.serve
+        self._batcher = MicroBatcher(
+            max_batch_size=self._config.max_batch_size,
+            max_wait_ms=self._config.max_wait_ms,
+            queue_size=self._config.queue_size,
+        )
+        self._cache: Optional[ResultCache] = None
+        if self._config.cache_size > 0:
+            self._cache = ResultCache(
+                maxsize=self._config.cache_size,
+                ttl_seconds=self._config.cache_ttl_seconds,
+            )
+        self._metrics = ServiceMetrics(latency_window=self._config.metrics_window)
+        self._workers: List[threading.Thread] = []
+        self._lifecycle_lock = threading.Lock()
+        self._running = False
+        self._stopped = False
+
+    @classmethod
+    def from_snapshot(
+        cls, path: str | Path, config: ServeConfig | None = None
+    ) -> "ServingEngine":
+        """Warm-start an engine from a persisted snapshot (``LOVO.save``).
+
+        The serving configuration defaults to the snapshot's stored ``serve``
+        block; pass ``config`` to override it for this deployment.
+        """
+        return cls(LOVO.load(path), config)
+
+    @property
+    def system(self) -> LOVO:
+        """The underlying LOVO system (treat as read-only while serving)."""
+        return self._system
+
+    @property
+    def config(self) -> ServeConfig:
+        """The serving configuration in effect."""
+        return self._config
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """The live service metrics."""
+        return self._metrics
+
+    @property
+    def running(self) -> bool:
+        """Whether the worker pool is accepting queries."""
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of admitted queries waiting for a micro-batch."""
+        return self._batcher.depth
+
+    def start(self) -> "ServingEngine":
+        """Spin up the worker pool; idempotent until :meth:`stop`."""
+        with self._lifecycle_lock:
+            if self._stopped:
+                raise ServingError("A stopped ServingEngine cannot be restarted")
+            if self._running:
+                return self
+            for index in range(self._config.num_workers):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"lovo-serve-worker-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+            self._running = True
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut the worker pool down; idempotent.
+
+        With ``drain`` (the default), every already-admitted request is still
+        answered before the workers exit — a graceful shutdown.  With
+        ``drain=False``, queued requests that no worker has picked up are
+        cancelled (their futures report cancellation); batches already
+        executing always finish either way.
+        """
+        with self._lifecycle_lock:
+            if not self._running:
+                self._stopped = True
+                return
+            self._batcher.close()
+            if not drain:
+                for pending in self._batcher.drain():
+                    pending.future.cancel()
+            for worker in self._workers:
+                worker.join(timeout=timeout)
+            # A submit() racing this shutdown may have enqueued after a worker
+            # observed an (at that instant) empty queue and exited; close()
+            # guarantees nothing lands after it returned, so one final sweep
+            # here leaves no admitted request stranded with an unresolved
+            # future.
+            leftover = self._batcher.drain()
+            if leftover:
+                if drain:
+                    self._process_batch(leftover)
+                else:
+                    for pending in leftover:
+                        pending.future.cancel()
+            self._workers.clear()
+            self._running = False
+            self._stopped = True
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def submit(self, text: str, top_n: int | None = None) -> "Future[QueryResponse]":
+        """Submit one query; returns a future resolving to its response.
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when the
+        admission queue is full and :class:`~repro.errors.QueryError` for
+        text the engine could never answer (validated here so one bad query
+        cannot fail the micro-batch it would have been coalesced into).
+        """
+        if not self._running:
+            raise ServingError("ServingEngine is not running; call start() first")
+        if not text or not text.strip():
+            raise QueryError("Query text must be non-empty")
+        self._metrics.record_request()
+
+        started = time.perf_counter()
+        if self._cache is not None:
+            # Hit/miss accounting lives in the cache itself (the single
+            # source of truth surfaced by stats()).
+            cached = self._cache.get(text, *self._effective_depths(top_n))
+            if cached is not None:
+                self._metrics.record_completion(time.perf_counter() - started)
+                future: "Future[QueryResponse]" = Future()
+                future.set_result(cached)
+                return future
+
+        pending = PendingQuery(text=text, top_n=top_n, enqueued_at=started)
+        try:
+            self._batcher.submit(pending)
+        except ServiceOverloadedError:
+            # Only genuine backpressure counts as a rejection; a closed
+            # batcher (shutdown race) propagates as a plain ServingError.
+            self._metrics.record_rejection()
+            raise
+        return pending.future
+
+    def query(
+        self, text: str, top_n: int | None = None, timeout: float | None = None
+    ) -> QueryResponse:
+        """Submit one query and block for its response (HTTP-path helper)."""
+        effective_timeout = (
+            timeout if timeout is not None else self._config.request_timeout_seconds
+        )
+        return self.submit(text, top_n=top_n).result(timeout=effective_timeout)
+
+    def query_many(
+        self,
+        texts: Sequence[str],
+        top_n: int | None = None,
+        timeout: float | None = None,
+    ) -> List[QueryResponse]:
+        """Submit several queries at once and block for all responses.
+
+        Unlike ``LOVO.query_batch`` this goes through admission control and
+        the shared micro-batcher, so the queries may be coalesced with other
+        callers' — or rejected under overload like any other submission.
+        """
+        effective_timeout = (
+            timeout if timeout is not None else self._config.request_timeout_seconds
+        )
+        # Validate everything before admitting anything, and on a mid-loop
+        # rejection cancel what was already admitted — otherwise a failed
+        # batch would still consume worker capacity (exactly when overloaded).
+        for text in texts:
+            if not text or not text.strip():
+                raise QueryError("Query text must be non-empty")
+        futures: List["Future[QueryResponse]"] = []
+        try:
+            for text in texts:
+                futures.append(self.submit(text, top_n=top_n))
+        except ServingError:
+            for future in futures:
+                future.cancel()
+            raise
+        # One deadline for the whole batch: the timeout bounds the caller's
+        # total wait, not each future's individually.
+        deadline = time.perf_counter() + effective_timeout
+        return [
+            future.result(timeout=max(deadline - time.perf_counter(), 0.0))
+            for future in futures
+        ]
+
+    def stats(self) -> Dict[str, object]:
+        """Service metrics plus queue, cache, and pool state for ``/stats``."""
+        snapshot = self._metrics.snapshot(queue_depth=self._batcher.depth)
+        snapshot["running"] = self._running
+        snapshot["num_workers"] = self._config.num_workers
+        snapshot["max_batch_size"] = self._config.max_batch_size
+        snapshot["max_wait_ms"] = self._config.max_wait_ms
+        snapshot["queue_capacity"] = self._config.queue_size
+        if self._cache is not None:
+            cache_stats = self._cache.stats()
+            lookups = cache_stats["hits"] + cache_stats["misses"]
+            snapshot["cache"] = {
+                "enabled": True,
+                **cache_stats,
+                "hit_rate": (cache_stats["hits"] / lookups) if lookups else 0.0,
+            }
+        else:
+            snapshot["cache"] = {"enabled": False}
+        return snapshot
+
+    def _effective_depths(self, top_n: int | None) -> tuple:
+        """The ``(k, n)`` retrieval depths a query will actually run with."""
+        query_config = self._system.config.query
+        return (query_config.fast_search_k, top_n or query_config.rerank_n)
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batcher.next_batch()
+            if batch is None:
+                return
+            self._process_batch(batch)
+
+    def _process_batch(self, batch: List[PendingQuery]) -> None:
+        live = [
+            pending for pending in batch
+            if pending.future.set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        # ``query_batch`` answers the whole batch at one top_n, so group by
+        # the effective depth; almost every real batch is a single group.
+        groups: Dict[Optional[int], List[PendingQuery]] = {}
+        for pending in live:
+            groups.setdefault(pending.top_n, []).append(pending)
+        for top_n, group in groups.items():
+            self._process_group(top_n, group)
+
+    def _process_group(self, top_n: Optional[int], group: List[PendingQuery]) -> None:
+        # One histogram entry per actual engine pass (a coalesced batch with
+        # mixed top_n values executes as several passes).
+        self._metrics.record_batch(len(group))
+        try:
+            responses = self._system.query_batch(
+                [pending.text for pending in group], top_n=top_n
+            ).responses
+        except BaseException as error:  # noqa: BLE001 - forwarded to callers
+            for pending in group:
+                self._metrics.record_error()
+                pending.future.set_exception(error)
+            return
+        now = time.perf_counter()
+        for pending, response in zip(group, responses):
+            if self._cache is not None:
+                self._cache.put(
+                    pending.text, *self._effective_depths(top_n), response
+                )
+            self._metrics.record_completion(now - pending.enqueued_at)
+            pending.future.set_result(response)

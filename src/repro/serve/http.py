@@ -1,0 +1,248 @@
+"""Stdlib-only HTTP frontend over the serving engine.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one handler thread per
+connection feeding the shared :class:`~repro.serve.engine.ServingEngine`, so
+concurrent HTTP clients are exactly the concurrent submitters the
+micro-batcher coalesces.  No web framework, no new dependency.
+
+Endpoints:
+
+* ``POST /query`` — body ``{"query": str, "top_n": int?}``; answers one query.
+* ``POST /query_batch`` — body ``{"queries": [str, ...], "top_n": int?}``.
+* ``GET /healthz`` — liveness/readiness (503 until data is ingested/loaded).
+* ``GET /stats`` — the engine's full metrics snapshot.
+
+Error mapping: malformed requests → 400; overload (admission queue full),
+not-ready systems, and an engine that is not running (starting up or
+shutting down) → 503 (overload and shutdown add ``Retry-After``); request
+timeout → 504; anything else → 500.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from concurrent.futures import CancelledError as FutureCancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, Optional, Tuple
+
+from repro.core.results import QueryResponse
+from repro.errors import (
+    QueryError,
+    ReproError,
+    ServiceOverloadedError,
+    ServingError,
+    SystemNotReadyError,
+)
+from repro.serve.engine import ServingEngine
+
+#: Request bodies above this size are rejected outright (64 KiB is orders of
+#: magnitude beyond any real query batch and bounds handler memory).
+MAX_BODY_BYTES = 64 * 1024
+
+
+def response_payload(response: QueryResponse) -> Dict[str, object]:
+    """JSON-serialisable form of one query response."""
+    return {
+        "query": response.query,
+        "cache_hit": bool(response.metadata.get("cache_hit", False)),
+        "num_results": len(response.results),
+        "results": [result.as_dict() for result in response.results],
+        "timings": dict(response.timings),
+    }
+
+
+class LOVORequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the shared serving engine."""
+
+    server: "LOVOHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._handle_healthz()
+        elif self.path == "/stats":
+            self._send_json(200, self.server.engine.stats())
+        else:
+            self._send_error(404, f"Unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/query":
+            self._guarded(self._handle_query)
+        elif self.path == "/query_batch":
+            self._guarded(self._handle_query_batch)
+        else:
+            self._send_error(404, f"Unknown path {self.path!r}")
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def _handle_healthz(self) -> None:
+        system = self.server.engine.system
+        if system.num_entities == 0:
+            self._send_json(
+                503, {"status": "not_ready", "reason": "no dataset ingested"}
+            )
+            return
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "num_entities": system.num_entities,
+                "num_keyframes": system.num_keyframes,
+                "datasets": system.ingested_datasets,
+                "index_type": system.storage.index_type,
+            },
+        )
+
+    def _handle_query(self) -> None:
+        body = self._read_json_body()
+        text = body.get("query")
+        if not isinstance(text, str):
+            raise _BadRequest('Body must contain a string "query" field')
+        top_n = _optional_depth(body.get("top_n"))
+        response = self.server.engine.query(text, top_n=top_n)
+        self._send_json(200, response_payload(response))
+
+    def _handle_query_batch(self) -> None:
+        body = self._read_json_body()
+        texts = body.get("queries")
+        if not isinstance(texts, list) or not all(
+            isinstance(text, str) for text in texts
+        ):
+            raise _BadRequest('Body must contain a "queries" list of strings')
+        top_n = _optional_depth(body.get("top_n"))
+        responses = self.server.engine.query_many(texts, top_n=top_n)
+        self._send_json(
+            200,
+            {
+                "batch_size": len(responses),
+                "responses": [response_payload(response) for response in responses],
+            },
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _guarded(self, handler) -> None:
+        """Run an endpoint body, mapping library errors to HTTP statuses."""
+        try:
+            handler()
+        except _BadRequest as error:
+            self._send_error(400, str(error))
+        except ServiceOverloadedError as error:
+            self._send_error(503, str(error), headers={"Retry-After": "1"})
+        except SystemNotReadyError as error:
+            self._send_error(503, str(error))
+        except QueryError as error:
+            self._send_error(400, str(error))
+        except FutureTimeoutError:
+            self._send_error(504, "Query timed out")
+        except FutureCancelledError:
+            # The engine is shutting down and dropped this request.
+            self._send_error(503, "Service is shutting down", headers={"Retry-After": "1"})
+        except ServingError as error:
+            # Engine not running (yet / anymore): unavailable, not broken.
+            self._send_error(503, str(error), headers={"Retry-After": "1"})
+        except ReproError as error:
+            self._send_error(500, str(error))
+        except Exception:  # noqa: BLE001 - last-resort 500 instead of a dropped socket
+            self._send_error(500, "Internal server error")
+
+    def _read_json_body(self) -> Dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            raise _BadRequest("Content-Length header must be an integer") from None
+        if length <= 0:
+            raise _BadRequest("Request body required")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(f"Request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise _BadRequest(f"Request body is not valid JSON: {error}") from None
+        if not isinstance(body, dict):
+            raise _BadRequest("Request body must be a JSON object")
+        return body
+
+    def _send_json(
+        self, status: int, payload: object, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        encoded = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _send_error(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        # An errored request may leave an unread body on the socket (e.g. an
+        # oversized or malformed one rejected before rfile was drained), which
+        # would desynchronise HTTP/1.1 keep-alive; close the connection so the
+        # client re-connects cleanly.
+        self.close_connection = True
+        merged = {"Connection": "close", **(headers or {})}
+        self._send_json(status, {"error": message, "status": status}, headers=merged)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request stderr logging (metrics cover observability)."""
+
+
+class _BadRequest(Exception):
+    """Internal marker for malformed request bodies (maps to HTTP 400)."""
+
+
+def _optional_depth(value: object) -> Optional[int]:
+    """Validate an optional positive-integer ``top_n`` field."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
+        raise _BadRequest('"top_n" must be a positive integer')
+    return value
+
+
+class LOVOHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one serving engine."""
+
+    daemon_threads = True
+
+    def __init__(self, engine: ServingEngine, address: Tuple[str, int]) -> None:
+        self.engine = engine
+        super().__init__(address, LOVORequestHandler)
+
+
+def make_server(
+    engine: ServingEngine, host: str | None = None, port: int | None = None
+) -> LOVOHTTPServer:
+    """Bind (but do not start) an HTTP frontend for ``engine``.
+
+    Host and port default to the engine's :class:`~repro.config.ServeConfig`;
+    port ``0`` binds an ephemeral port (see ``server.server_address``).
+    """
+    config = engine.config
+    effective_host = host if host is not None else config.host
+    effective_port = port if port is not None else config.port
+    return LOVOHTTPServer(engine, (effective_host, effective_port))
+
+
+def serve_forever(engine: ServingEngine, host: str | None = None,
+                  port: int | None = None) -> None:
+    """Start the engine and block serving HTTP until interrupted."""
+    engine.start()
+    server = make_server(engine, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"Serving LOVO queries on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("Shutting down (draining in-flight requests)...")
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.stop()

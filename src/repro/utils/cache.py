@@ -4,10 +4,18 @@ Used by the batched text encoder to avoid re-parsing and re-embedding
 repeated query strings: real workloads (and the Table II benchmark batches)
 contain many duplicate or near-duplicate queries, so an LRU over the query
 text makes the per-query encoding cost of a hot query effectively zero.
+
+The cache is thread-safe: the serving subsystem (:mod:`repro.serve`) answers
+queries from a pool of worker threads that all share one text encoder, and an
+unsynchronized ``OrderedDict`` corrupts its recency links under concurrent
+``move_to_end``/``popitem`` calls.  Every public operation holds an internal
+re-entrant lock, which subclasses (e.g. the TTL cache in
+:mod:`repro.serve.cache`) may also acquire to make compound operations atomic.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, Optional, TypeVar
 
@@ -18,7 +26,7 @@ _MISSING = object()
 
 
 class LRUCache(Generic[K, V]):
-    """A bounded mapping that evicts the least-recently-used entry.
+    """A bounded, thread-safe mapping that evicts the least-recently-used entry.
 
     Both :meth:`get` and :meth:`put` refresh an entry's recency.  ``hits``
     and ``misses`` counters are exposed so callers (and tests) can verify
@@ -30,6 +38,7 @@ class LRUCache(Generic[K, V]):
             raise ValueError("LRUCache maxsize must be positive")
         self._maxsize = maxsize
         self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -39,31 +48,44 @@ class LRUCache(Generic[K, V]):
         return self._maxsize
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: K) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
         """Return the cached value (refreshing recency) or ``default``."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return value  # type: ignore[return-value]
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value  # type: ignore[return-value]
 
     def put(self, key: K, value: V) -> None:
         """Insert or refresh an entry, evicting the oldest when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+
+    def pop(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Remove and return an entry without touching the hit/miss counters."""
+        with self._lock:
+            value = self._entries.pop(key, _MISSING)
+            if value is _MISSING:
+                return default
+            return value  # type: ignore[return-value]
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -9,6 +9,7 @@ breakdowns.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -52,6 +53,13 @@ class Stopwatch:
 class PhaseTimer:
     """Accumulates wall-clock time per named phase.
 
+    The timer is thread-safe: a LOVO system shared by the serving worker pool
+    folds per-query timings into one accumulator from many threads at once,
+    and the unsynchronized read-modify-write of :meth:`add` would silently
+    lose updates.  All mutating and aggregating methods hold an internal lock;
+    the ``totals``/``counts`` dicts stay public for direct (point-in-time)
+    reads.
+
     Example:
         >>> timer = PhaseTimer()
         >>> with timer.phase("fast_search"):
@@ -62,6 +70,9 @@ class PhaseTimer:
 
     totals: Dict[str, float] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -74,34 +85,43 @@ class PhaseTimer:
             self.add(name, elapsed)
 
     def add(self, name: str, seconds: float) -> None:
-        """Add ``seconds`` to phase ``name`` explicitly."""
-        self.totals[name] = self.totals.get(name, 0.0) + seconds
-        self.counts[name] = self.counts.get(name, 0) + 1
+        """Add ``seconds`` to phase ``name`` explicitly (thread-safe)."""
+        with self._lock:
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + 1
 
     def total(self, *names: str) -> float:
         """Sum of the given phases; all phases when none are given."""
-        if not names:
-            return sum(self.totals.values())
-        return sum(self.totals.get(name, 0.0) for name in names)
+        with self._lock:
+            if not names:
+                return sum(self.totals.values())
+            return sum(self.totals.get(name, 0.0) for name in names)
 
     def mean(self, name: str) -> float:
         """Average duration of a phase across its occurrences."""
-        count = self.counts.get(name, 0)
-        if count == 0:
-            return 0.0
-        return self.totals[name] / count
+        with self._lock:
+            count = self.counts.get(name, 0)
+            if count == 0:
+                return 0.0
+            return self.totals[name] / count
 
     def merge(self, other: "PhaseTimer") -> None:
         """Fold another timer's totals into this one."""
-        for name, seconds in other.totals.items():
-            self.totals[name] = self.totals.get(name, 0.0) + seconds
-            self.counts[name] = self.counts.get(name, 0) + other.counts.get(name, 0)
+        # Snapshot the other timer first (dict copies are atomic under the
+        # GIL) so two timers merging into each other cannot deadlock.
+        other_totals, other_counts = dict(other.totals), dict(other.counts)
+        with self._lock:
+            for name, seconds in other_totals.items():
+                self.totals[name] = self.totals.get(name, 0.0) + seconds
+                self.counts[name] = self.counts.get(name, 0) + other_counts.get(name, 0)
 
     def as_dict(self) -> Dict[str, float]:
         """A copy of the per-phase totals."""
-        return dict(self.totals)
+        with self._lock:
+            return dict(self.totals)
 
     def reset(self) -> None:
         """Drop all recorded phases."""
-        self.totals.clear()
-        self.counts.clear()
+        with self._lock:
+            self.totals.clear()
+            self.counts.clear()

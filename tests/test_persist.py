@@ -21,7 +21,13 @@ from hypothesis import strategies as st
 
 import repro
 from repro import LOVO, LOVOConfig
-from repro.config import EncoderConfig, IndexConfig, KeyframeConfig, QueryConfig
+from repro.config import (
+    EncoderConfig,
+    IndexConfig,
+    KeyframeConfig,
+    QueryConfig,
+    ServeConfig,
+)
 from repro.core.storage import LOVOStorage
 from repro.errors import (
     PersistenceError,
@@ -30,6 +36,7 @@ from repro.errors import (
     SnapshotVersionError,
 )
 from repro.persist import SNAPSHOT_SCHEMA_VERSION, read_manifest
+from repro.persist.manifest import config_payload_hash, sha256_file
 from repro.utils.geometry import BoundingBox
 from repro.vectordb.collection import VectorCollection
 from repro.vectordb.database import VectorDatabase
@@ -202,6 +209,49 @@ class TestManifest:
         manifest_path.write_text(json.dumps(document))
         with pytest.raises(SnapshotCorruptionError):
             LOVO.load(root)
+
+    def test_tampered_config_rejected(self, tmp_path):
+        system = ingested_system("flat")
+        root = tmp_path / "snap"
+        system.save(root)
+        config_path = root / "config.json"
+        document = json.loads(config_path.read_text())
+        document["query"]["rerank_n"] = 999
+        config_path.write_text(json.dumps(document))
+        # Keep the artifact checksum consistent so the *config hash* check is
+        # what trips (simulates a manifest/config pair from different saves).
+        manifest_path = root / "manifest.json"
+        manifest_doc = json.loads(manifest_path.read_text())
+        manifest_doc["artifacts"]["config.json"] = sha256_file(config_path)
+        manifest_path.write_text(json.dumps(manifest_doc))
+        with pytest.raises(SnapshotCorruptionError):
+            LOVO.load(root)
+
+    def test_pre_serve_snapshot_without_serve_section_loads(self, tmp_path):
+        """Snapshots written before ServeConfig existed must keep loading.
+
+        Their ``config.json`` has no ``serve`` section and their manifest's
+        config hash was computed over that smaller payload; loading must fill
+        in serving defaults rather than reporting corruption.
+        """
+        system = ingested_system("flat")
+        root = tmp_path / "snap"
+        system.save(root)
+        config_path = root / "config.json"
+        document = json.loads(config_path.read_text())
+        del document["serve"]
+        config_path.write_text(json.dumps(document))
+        manifest_path = root / "manifest.json"
+        manifest_doc = json.loads(manifest_path.read_text())
+        manifest_doc["config_hash"] = config_payload_hash(document)
+        manifest_doc["artifacts"]["config.json"] = sha256_file(config_path)
+        manifest_path.write_text(json.dumps(manifest_doc))
+
+        loaded = LOVO.load(root)
+        assert loaded.config.serve == ServeConfig()
+        assert result_tuples(loaded.query(QUERIES[0])) == result_tuples(
+            system.query(QUERIES[0])
+        )
 
     def test_resave_removes_stale_manifest_first(self, tmp_path):
         system = ingested_system("flat")

@@ -1,0 +1,698 @@
+"""Tests for the concurrent query-serving subsystem (:mod:`repro.serve`).
+
+Covers the pieces individually (TTL+LRU cache, micro-batcher, metrics) and
+the assembled engine: bit-exact parity between concurrent served queries and
+serial ``LOVO.query`` calls, backpressure, cache short-circuiting, graceful
+shutdown draining, and an HTTP round trip over an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro import LOVO, LOVOConfig, ServeConfig
+from repro.core.results import BatchQueryResponse, QueryResponse
+from repro.errors import (
+    ConfigurationError,
+    QueryError,
+    ServiceOverloadedError,
+    ServingError,
+    SystemNotReadyError,
+)
+from repro.eval.workloads import queries_for_dataset
+from repro.serve import MicroBatcher, PendingQuery, ResultCache, ServingEngine, TTLLRUCache
+from repro.serve.cache import normalize_query_text
+from repro.serve.http import make_server
+from repro.serve.metrics import ServiceMetrics, percentile
+from repro.utils.cache import LRUCache
+from repro.utils.timing import PhaseTimer
+
+BELLEVUE_QUERIES = [spec.text for spec in queries_for_dataset("bellevue")]
+
+
+def result_key(response: QueryResponse) -> List[tuple]:
+    """Bit-exact identity of a response's ranked results."""
+    return [(r.frame_id, r.patch_id, r.score, r.box.to_array().tobytes())
+            for r in response.results]
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubSystem:
+    """Engine-compatible stand-in recording every ``query_batch`` call.
+
+    ``block`` makes batch execution wait on an external release event so
+    tests can deterministically fill the admission queue.
+    """
+
+    def __init__(self, delay: float = 0.0, block: bool = False) -> None:
+        self.config = LOVOConfig()
+        self.calls: List[List[str]] = []
+        self.delay = delay
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.block = block
+        self._lock = threading.Lock()
+
+    def query_batch(self, texts: Sequence[str], top_n: Optional[int] = None):
+        with self._lock:
+            self.calls.append(list(texts))
+        self.started.set()
+        if self.block:
+            assert self.release.wait(timeout=10.0)
+        if self.delay:
+            time.sleep(self.delay)
+        responses = [
+            QueryResponse(query=text, results=[], timings={"fast_search": 0.0})
+            for text in texts
+        ]
+        return BatchQueryResponse(queries=list(texts), responses=responses)
+
+
+def stub_engine(stub: StubSystem, **overrides) -> ServingEngine:
+    defaults = dict(num_workers=1, max_batch_size=4, max_wait_ms=1.0,
+                    queue_size=8, cache_size=0)
+    defaults.update(overrides)
+    return ServingEngine(stub, ServeConfig(**defaults))
+
+
+class TestThreadSafetySatellites:
+    def test_lru_cache_survives_concurrent_hammering(self):
+        cache: LRUCache[int, int] = LRUCache(maxsize=32)
+        errors: List[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(2000):
+                    key = (seed * 31 + i) % 100
+                    cache.put(key, key)
+                    cache.get((key + 1) % 100)
+                    if i % 100 == 0:
+                        len(cache)
+            except BaseException as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32
+
+    def test_lru_cache_pop(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", 42) == 42
+        assert "a" not in cache
+
+    def test_phase_timer_concurrent_adds_lose_nothing(self):
+        timer = PhaseTimer()
+        per_thread, num_threads = 500, 8
+
+        def add_many() -> None:
+            for _ in range(per_thread):
+                timer.add("phase", 1.0)
+
+        threads = [threading.Thread(target=add_many) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Increments of exactly 1.0 are float-exact, so any lost update would
+        # show as a smaller total.
+        assert timer.totals["phase"] == float(per_thread * num_threads)
+        assert timer.counts["phase"] == per_thread * num_threads
+
+
+class TestTTLLRUCache:
+    def test_expires_after_ttl(self):
+        clock = FakeClock()
+        cache: TTLLRUCache[str, str] = TTLLRUCache(maxsize=4, ttl_seconds=10.0, clock=clock)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        clock.advance(9.9)
+        assert cache.get("k") == "v"
+        clock.advance(0.2)
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+        assert "k" not in cache
+
+    def test_put_restarts_ttl(self):
+        clock = FakeClock()
+        cache: TTLLRUCache[str, str] = TTLLRUCache(maxsize=4, ttl_seconds=10.0, clock=clock)
+        cache.put("k", "v1")
+        clock.advance(8.0)
+        cache.put("k", "v2")
+        clock.advance(8.0)
+        assert cache.get("k") == "v2"
+
+    def test_lru_eviction_still_applies(self):
+        clock = FakeClock()
+        cache: TTLLRUCache[int, int] = TTLLRUCache(maxsize=2, ttl_seconds=100.0, clock=clock)
+        cache.put(1, 1)
+        cache.put(2, 2)
+        cache.put(3, 3)
+        assert cache.get(1) is None
+        assert cache.get(2) == 2 and cache.get(3) == 3
+
+    def test_hit_miss_accounting_counts_expiry_as_miss(self):
+        clock = FakeClock()
+        cache: TTLLRUCache[str, str] = TTLLRUCache(maxsize=4, ttl_seconds=1.0, clock=clock)
+        cache.put("k", "v")
+        cache.get("k")
+        clock.advance(2.0)
+        cache.get("k")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(ValueError):
+            TTLLRUCache(maxsize=4, ttl_seconds=0.0)
+
+
+class TestResultCache:
+    def test_normalization_shares_entries(self):
+        clock = FakeClock()
+        cache = ResultCache(maxsize=8, ttl_seconds=10.0, clock=clock)
+        response = QueryResponse(query="a red car", timings={"fast_search": 1.0})
+        cache.put("a red car", 128, 40, response)
+        hit = cache.get("  A  RED   Car ", 128, 40)
+        assert hit is not None
+        assert hit.query == "  A  RED   Car "
+        assert hit.metadata["cache_hit"] is True
+        assert normalize_query_text("  A  RED   Car ") == "a red car"
+
+    def test_depths_are_part_of_the_key(self):
+        cache = ResultCache(maxsize=8, ttl_seconds=10.0)
+        cache.put("q", 128, 40, QueryResponse(query="q"))
+        assert cache.get("q", 128, 20) is None
+        assert cache.get("q", 64, 40) is None
+        assert cache.get("q", 128, 40) is not None
+
+    def test_hit_is_isolated_copy(self):
+        cache = ResultCache(maxsize=8, ttl_seconds=10.0)
+        cache.put("q", 128, 40, QueryResponse(query="q", timings={"x": 1.0}))
+        first = cache.get("q", 128, 40)
+        first.timings["x"] = 999.0
+        first.metadata["poison"] = True
+        second = cache.get("q", 128, 40)
+        assert second.timings["x"] == 1.0
+        assert "poison" not in second.metadata
+
+    def test_stored_entry_is_isolated_from_the_producer(self):
+        # The miss path hands its response object to the caller after putting
+        # it in the cache; mutating it must not corrupt later hits.
+        cache = ResultCache(maxsize=8, ttl_seconds=10.0)
+        produced = QueryResponse(query="q", timings={"x": 1.0})
+        cache.put("q", 128, 40, produced)
+        produced.timings.clear()
+        produced.results.append("garbage")
+        hit = cache.get("q", 128, 40)
+        assert hit.timings == {"x": 1.0}
+        assert hit.results == []
+
+
+class TestMicroBatcher:
+    def test_coalesces_up_to_max_batch_size(self):
+        batcher = MicroBatcher(max_batch_size=3, max_wait_ms=50.0, queue_size=8)
+        for i in range(5):
+            batcher.submit(PendingQuery(text=f"q{i}"))
+        first = batcher.next_batch()
+        second = batcher.next_batch()
+        assert [p.text for p in first] == ["q0", "q1", "q2"]
+        assert [p.text for p in second] == ["q3", "q4"]
+
+    def test_backpressure_raises_when_full(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_ms=1.0, queue_size=2)
+        batcher.submit(PendingQuery(text="a"))
+        batcher.submit(PendingQuery(text="b"))
+        with pytest.raises(ServiceOverloadedError):
+            batcher.submit(PendingQuery(text="c"))
+        assert batcher.depth == 2
+
+    def test_close_drains_then_signals_exhaustion(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_ms=1.0, queue_size=8)
+        batcher.submit(PendingQuery(text="a"))
+        batcher.close()
+        with pytest.raises(ServingError):
+            batcher.submit(PendingQuery(text="late"))
+        batch = batcher.next_batch()
+        assert [p.text for p in batch] == ["a"]
+        assert batcher.next_batch() is None
+
+
+class TestServiceMetrics:
+    def test_percentile_nearest_rank(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile(values, 0.50) == pytest.approx(51.0, abs=1.0)
+        assert percentile(values, 0.99) == pytest.approx(99.0, abs=1.0)
+        assert percentile([], 0.5) == 0.0
+
+    def test_snapshot_shape_and_rates(self):
+        metrics = ServiceMetrics(latency_window=16)
+        for _ in range(4):
+            metrics.record_request()
+        metrics.record_rejection()
+        metrics.record_batch(3)
+        for latency in (0.010, 0.020, 0.030):
+            metrics.record_completion(latency)
+        snapshot = metrics.snapshot(queue_depth=2)
+        assert snapshot["requests_total"] == 4
+        assert snapshot["completed_total"] == 3
+        assert snapshot["rejected_total"] == 1
+        assert snapshot["queue_depth"] == 2
+        assert snapshot["batches"]["histogram"] == {"3": 1}
+        assert snapshot["batches"]["mean_size"] == pytest.approx(3.0)
+        assert snapshot["latency_ms"]["p50"] == pytest.approx(20.0)
+        assert snapshot["qps"] > 0
+        json.dumps(snapshot)  # must be JSON-serialisable for /stats
+
+
+class TestServeConfig:
+    def test_defaults_valid_and_round_trip(self):
+        config = LOVOConfig()
+        rebuilt = LOVOConfig.from_dict(config.to_dict())
+        assert rebuilt.serve == config.serve
+        assert rebuilt == config
+
+    def test_pre_serve_snapshots_get_defaults(self):
+        payload = LOVOConfig().to_dict()
+        del payload["serve"]
+        rebuilt = LOVOConfig.from_dict(payload)
+        assert rebuilt.serve == ServeConfig()
+
+    def test_validation(self):
+        for bad in (
+            dict(num_workers=0),
+            dict(max_batch_size=0),
+            dict(max_wait_ms=-1.0),
+            dict(queue_size=0),
+            dict(cache_size=-1),
+            dict(cache_ttl_seconds=0.0),
+            dict(request_timeout_seconds=0.0),
+            dict(metrics_window=0),
+            dict(port=70000),
+        ):
+            with pytest.raises(ConfigurationError):
+                ServeConfig(**bad)
+
+    def test_with_overrides_replaces_serve(self):
+        base = LOVOConfig()
+        updated = base.with_overrides(serve=ServeConfig(num_workers=7))
+        assert updated.serve.num_workers == 7
+        assert updated.query is base.query
+
+
+class TestSystemNotReady:
+    def test_query_before_ingest(self):
+        system = LOVO()
+        with pytest.raises(SystemNotReadyError):
+            system.query("a car")
+        with pytest.raises(SystemNotReadyError):
+            system.query_batch(["a car"])
+        with pytest.raises(SystemNotReadyError):
+            system.storage
+
+    def test_is_a_query_error(self):
+        assert issubclass(SystemNotReadyError, QueryError)
+
+
+class TestServingEngineWithStub:
+    def test_requires_start(self):
+        engine = stub_engine(StubSystem())
+        with pytest.raises(ServingError):
+            engine.submit("q")
+
+    def test_rejects_empty_query_without_poisoning_batches(self):
+        stub = StubSystem()
+        with stub_engine(stub) as engine:
+            with pytest.raises(QueryError):
+                engine.submit("   ")
+        assert stub.calls == []
+
+    def test_coalesces_queued_queries_into_one_batch(self):
+        stub = StubSystem(block=True)
+        with stub_engine(stub, max_batch_size=8, max_wait_ms=50.0) as engine:
+            first = engine.submit("warm")
+            assert stub.started.wait(timeout=5.0)
+            futures = [engine.submit(f"q{i}") for i in range(5)]
+            stub.release.set()
+            first.result(timeout=5.0)
+            for future in futures:
+                future.result(timeout=5.0)
+        assert stub.calls[0] == ["warm"]
+        assert stub.calls[1] == [f"q{i}" for i in range(5)]
+
+    def test_backpressure_end_to_end(self):
+        stub = StubSystem(block=True)
+        with stub_engine(stub, max_batch_size=1, queue_size=2) as engine:
+            in_flight = engine.submit("held")
+            assert stub.started.wait(timeout=5.0)
+            engine.submit("queued-1")
+            engine.submit("queued-2")
+            with pytest.raises(ServiceOverloadedError):
+                engine.submit("rejected")
+            stats = engine.stats()
+            assert stats["rejected_total"] == 1
+            stub.release.set()
+            in_flight.result(timeout=5.0)
+        assert engine.stats()["completed_total"] == 3
+
+    def test_cache_hit_never_touches_the_engine(self):
+        stub = StubSystem()
+        with stub_engine(stub, cache_size=16) as engine:
+            engine.query("hot query", timeout=5.0)
+            assert len(stub.calls) == 1
+            hit = engine.query("  HOT   query ", timeout=5.0)
+            assert hit.metadata["cache_hit"] is True
+            assert len(stub.calls) == 1
+            stats = engine.stats()
+            assert stats["cache"]["hits"] == 1
+
+    def test_graceful_stop_drains_admitted_requests(self):
+        stub = StubSystem(delay=0.02)
+        engine = stub_engine(stub, max_batch_size=4, queue_size=32).start()
+        futures = [engine.submit(f"q{i}") for i in range(12)]
+        engine.stop()  # graceful: drain everything already admitted
+        for future in futures:
+            assert future.done() and not future.cancelled()
+            future.result(timeout=0)
+        assert engine.stats()["completed_total"] == 12
+        with pytest.raises(ServingError):
+            engine.submit("after-stop")
+
+    def test_non_draining_stop_cancels_queued_requests(self):
+        stub = StubSystem(block=True)
+        engine = stub_engine(stub, max_batch_size=1, queue_size=8).start()
+        held = engine.submit("held")
+        assert stub.started.wait(timeout=5.0)
+        queued = [engine.submit(f"q{i}") for i in range(3)]
+        # stop() joins the (blocked) worker, so run it in a thread: the
+        # queued-but-unclaimed futures must be cancelled immediately, while
+        # the batch already executing still finishes.
+        stopper = threading.Thread(target=lambda: engine.stop(drain=False))
+        stopper.start()
+        deadline = time.monotonic() + 5.0
+        while not all(f.cancelled() for f in queued) and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert all(future.cancelled() for future in queued)
+        stub.release.set()
+        stopper.join(timeout=5.0)
+        assert not stopper.is_alive()
+        assert held.result(timeout=5.0) is not None
+
+    def test_query_many_rejection_cancels_admitted_prefix(self):
+        stub = StubSystem(block=True)
+        with stub_engine(stub, max_batch_size=1, queue_size=2) as engine:
+            held = engine.submit("held")
+            assert stub.started.wait(timeout=5.0)
+            # Queue capacity 2: the third admission inside query_many must
+            # fail, and the two it already admitted must be cancelled rather
+            # than left to burn worker capacity.
+            with pytest.raises(ServiceOverloadedError):
+                engine.query_many(["a", "b", "c"], timeout=5.0)
+            assert engine.queue_depth == 2  # cancelled entries still queued...
+            stub.release.set()
+            held.result(timeout=5.0)
+        # ...but the workers skipped them: only the held query ever executed.
+        assert [call for call in stub.calls] == [["held"]]
+
+    def test_query_many_validates_all_texts_before_admitting_any(self):
+        stub = StubSystem()
+        with stub_engine(stub) as engine:
+            with pytest.raises(QueryError):
+                engine.query_many(["fine", "   "], timeout=5.0)
+        assert stub.calls == []
+
+    def test_no_future_stranded_when_submit_races_stop(self):
+        stub = StubSystem()
+        engine = stub_engine(stub, max_batch_size=4, queue_size=256).start()
+        futures: List = []
+        futures_lock = threading.Lock()
+
+        def submitter() -> None:
+            for i in range(100):
+                try:
+                    future = engine.submit(f"q{i}")
+                except ServingError:
+                    return
+                with futures_lock:
+                    futures.append(future)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        engine.stop()  # races the submitters; close+drain must strand nothing
+        for thread in threads:
+            thread.join()
+        # Every submission that was *accepted* must have been answered: the
+        # batcher's close() is atomic with submit(), and stop() sweeps any
+        # queries that landed after the workers exited.
+        for future in futures:
+            assert future.result(timeout=5.0) is not None
+
+    def test_engine_error_propagates_to_every_future_in_group(self):
+        class ExplodingSystem(StubSystem):
+            def query_batch(self, texts, top_n=None):
+                raise RuntimeError("index melted")
+
+        with stub_engine(ExplodingSystem(), max_batch_size=4, max_wait_ms=20.0) as engine:
+            futures = [engine.submit(f"q{i}") for i in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="index melted"):
+                    future.result(timeout=5.0)
+            assert engine.stats()["errors_total"] == 3
+
+
+class TestServingEngineParity:
+    """N threads x M queries through the engine == serial LOVO.query."""
+
+    def test_concurrent_results_bit_identical_to_serial(self, lovo_system):
+        serial = {text: lovo_system.query(text) for text in BELLEVUE_QUERIES}
+        config = ServeConfig(
+            num_workers=3, max_batch_size=8, max_wait_ms=2.0,
+            queue_size=256, cache_size=0,
+        )
+        collected: dict = {}
+        errors: List[BaseException] = []
+
+        def client(thread_index: int) -> None:
+            try:
+                rotation = (
+                    BELLEVUE_QUERIES[thread_index % len(BELLEVUE_QUERIES):]
+                    + BELLEVUE_QUERIES[:thread_index % len(BELLEVUE_QUERIES)]
+                )
+                for text in rotation * 2:
+                    response = engine.query(text, timeout=30.0)
+                    previous = collected.setdefault(text, result_key(response))
+                    assert previous == result_key(response)
+            except BaseException as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        with ServingEngine(lovo_system, config) as engine:
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = engine.stats()
+        assert not errors
+        for text in BELLEVUE_QUERIES:
+            assert collected[text] == result_key(serial[text]), text
+        assert stats["completed_total"] == 6 * 2 * len(BELLEVUE_QUERIES)
+
+    def test_cached_responses_also_match_serial(self, lovo_system):
+        text = BELLEVUE_QUERIES[0]
+        serial = lovo_system.query(text)
+        config = ServeConfig(num_workers=2, cache_size=32, max_wait_ms=1.0)
+        with ServingEngine(lovo_system, config) as engine:
+            miss = engine.query(text, timeout=30.0)
+            hit = engine.query(text, timeout=30.0)
+        assert result_key(miss) == result_key(serial)
+        assert result_key(hit) == result_key(serial)
+        assert hit.metadata["cache_hit"] is True
+
+
+class TestHTTPFrontend:
+    @pytest.fixture()
+    def http_service(self, lovo_system):
+        config = ServeConfig(num_workers=2, max_wait_ms=1.0, cache_size=32)
+        engine = ServingEngine(lovo_system, config).start()
+        server = make_server(engine, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}", engine
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.stop()
+
+    @staticmethod
+    def _post(base: str, path: str, payload: dict) -> dict:
+        request = urllib.request.Request(
+            base + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.load(response)
+
+    @staticmethod
+    def _get(base: str, path: str) -> dict:
+        with urllib.request.urlopen(base + path, timeout=30) as response:
+            return json.load(response)
+
+    def test_query_round_trip_matches_direct_call(self, http_service, lovo_system):
+        base, _ = http_service
+        text = BELLEVUE_QUERIES[0]
+        payload = self._post(base, "/query", {"query": text, "top_n": 5})
+        direct = lovo_system.query(text, top_n=5)
+        assert payload["query"] == text
+        assert payload["num_results"] == len(direct.results)
+        assert [r["frame_id"] for r in payload["results"]] == [
+            r.frame_id for r in direct.results
+        ]
+        assert [r["score"] for r in payload["results"]] == [
+            r.score for r in direct.results
+        ]
+
+    def test_query_batch_endpoint(self, http_service):
+        base, _ = http_service
+        texts = BELLEVUE_QUERIES[:3]
+        payload = self._post(base, "/query_batch", {"queries": texts})
+        assert payload["batch_size"] == 3
+        assert [entry["query"] for entry in payload["responses"]] == texts
+
+    def test_healthz_and_stats(self, http_service):
+        base, _ = http_service
+        health = self._get(base, "/healthz")
+        assert health["status"] == "ok"
+        assert health["num_entities"] > 0
+        self._post(base, "/query", {"query": BELLEVUE_QUERIES[0]})
+        stats = self._get(base, "/stats")
+        assert stats["completed_total"] >= 1
+        assert stats["running"] is True
+
+    @pytest.mark.parametrize(
+        "path,payload,expected_status",
+        [
+            ("/query", {"nope": 1}, 400),
+            ("/query", {"query": 42}, 400),
+            ("/query", {"query": "car", "top_n": 0}, 400),
+            ("/query", {"query": "   "}, 400),
+            ("/query_batch", {"queries": "not a list"}, 400),
+            ("/unknown", {"query": "car"}, 404),
+        ],
+    )
+    def test_bad_requests(self, http_service, path, payload, expected_status):
+        base, _ = http_service
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(base, path, payload)
+        assert excinfo.value.code == expected_status
+
+    @staticmethod
+    def _raw_request(base: str, request_bytes: bytes) -> bytes:
+        import socket
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(base)
+        with socket.create_connection((parts.hostname, parts.port), timeout=10) as sock:
+            sock.sendall(request_bytes)
+            sock.settimeout(10)
+            data = b""
+            while True:
+                try:
+                    chunk = sock.recv(4096)
+                except TimeoutError:
+                    break
+                if not chunk:
+                    break
+                data += chunk
+        return data
+
+    def test_oversized_body_gets_400_and_connection_close(self, http_service):
+        base, _ = http_service
+        # Claim a huge body but never send it: the server must reject it and
+        # close the connection (an unread body would desync keep-alive).
+        raw = self._raw_request(
+            base,
+            b"POST /query HTTP/1.1\r\nHost: test\r\nContent-Length: 100000\r\n\r\n",
+        )
+        status_line = raw.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"connection: close" in raw.lower()
+
+    def test_non_numeric_content_length_gets_400(self, http_service):
+        base, _ = http_service
+        raw = self._raw_request(
+            base,
+            b"POST /query HTTP/1.1\r\nHost: test\r\nContent-Length: abc\r\n\r\n",
+        )
+        status_line = raw.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+
+    def test_malformed_json_is_400(self, http_service):
+        base, _ = http_service
+        request = urllib.request.Request(
+            base + "/query", data=b"{not json", headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_stopped_engine_maps_to_503(self, lovo_system):
+        engine = ServingEngine(lovo_system, ServeConfig(num_workers=1, cache_size=0))
+        engine.start()
+        engine.stop()
+        server = make_server(engine, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._post(f"http://{host}:{port}", "/query", {"query": "a car"})
+            assert excinfo.value.code == 503
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_not_ready_system_maps_to_503(self):
+        engine = ServingEngine(LOVO(), ServeConfig(num_workers=1, cache_size=0)).start()
+        server = make_server(engine, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._post(base, "/query", {"query": "a car"})
+            assert excinfo.value.code == 503
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(base, "/healthz")
+            assert excinfo.value.code == 503
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.stop()
