@@ -12,7 +12,7 @@ Run with:  python examples/open_vocabulary_search.py
 
 from __future__ import annotations
 
-from repro import LOVO, LOVOConfig
+from repro import LOVO, LOVOConfig, QueryOptions, QueryRequest
 from repro.baselines import VOCALBaseline
 from repro.errors import UnsupportedQueryError
 from repro.video import make_qvhighlights
@@ -36,7 +36,7 @@ def main() -> None:
 
     for text in QUERIES:
         print(f"\nQuery: {text}")
-        response = lovo.query(text, top_n=3)
+        response = lovo.query(QueryRequest(text, QueryOptions(top_n=3)))
         top = response.top(1)
         print(f"  LOVO : {len(response.results)} results, best frame {top[0].frame_id if top else 'n/a'} "
               f"(search {response.search_seconds * 1000:.0f} ms)")

@@ -5,7 +5,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import LOVO, LOVOConfig
+from repro import LOVO, LOVOConfig, QueryOptions, QueryRequest
 from repro.video import make_bellevue
 
 
@@ -35,7 +35,7 @@ def main() -> None:
         "A black SUV driving in the intersection of the road.",
     ]
     for text in queries:
-        response = system.query(text, top_n=5)
+        response = system.query(QueryRequest(text, QueryOptions(top_n=5)))
         print(f"\nQuery: {text}")
         print(f"  fast search: {response.timings['fast_search'] * 1000:.1f} ms, "
               f"rerank: {response.timings['rerank'] * 1000:.1f} ms")

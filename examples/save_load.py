@@ -14,7 +14,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import LOVO, LOVOConfig
+from repro import LOVO, LOVOConfig, QueryOptions, QueryRequest
 from repro.video import make_bellevue
 
 
@@ -53,11 +53,13 @@ def main() -> None:
     )
 
     # 4. The warm-started system answers queries exactly like the original.
-    query = "A red car driving in the center of the road"
-    original = [(r.frame_id, round(r.score, 6)) for r in system.query(query, top_n=5).results]
-    restored = [(r.frame_id, round(r.score, 6)) for r in served.query(query, top_n=5).results]
+    query = QueryRequest(
+        "A red car driving in the center of the road", QueryOptions(top_n=5)
+    )
+    original = [(r.frame_id, round(r.score, 6)) for r in system.query(query).results]
+    restored = [(r.frame_id, round(r.score, 6)) for r in served.query(query).results]
     assert original == restored, "snapshot round trip changed query results!"
-    print(f"\nQuery: {query}")
+    print(f"\nQuery: {query.text}")
     for rank, (frame_id, score) in enumerate(restored, start=1):
         print(f"  #{rank} frame={frame_id} score={score:.3f}")
     print("\nOriginal and warm-started systems returned identical results.")

@@ -11,8 +11,13 @@ Public API overview
 * :mod:`repro.baselines` — VOCAL, MIRIS, FiGO, ZELDA, UMT, and VISA baselines.
 * :mod:`repro.eval` — the query workloads of Table II and the AveP metric.
 * :mod:`repro.serve` — the concurrent query service: micro-batching worker
-  pool, TTL+LRU result cache, service metrics, and an HTTP frontend
-  (``python -m repro.serve --snapshot <dir> --port 8080``).
+  pool, TTL+LRU result cache, service metrics, and a versioned ``/v1`` HTTP
+  frontend (``python -m repro.serve --snapshot <dir> --port 8080``).
+* :mod:`repro.shard` — the sharded scatter-gather vector database: hash or
+  k-means partitioning across N shards, parallel fan-out with exact global
+  top-k merging, and replica groups with automatic failover.  Enable it with
+  ``LOVOConfig(shard=ShardConfig(num_shards=4))``; query results stay
+  bit-identical to the single-shard database.
 """
 
 from repro.config import (
@@ -22,14 +27,19 @@ from repro.config import (
     LOVOConfig,
     QueryConfig,
     ServeConfig,
+    ShardConfig,
 )
+from repro.core.query import QueryOptions, QueryRequest
 from repro.core.results import BatchQueryResponse, ObjectQueryResult, QueryResponse
 from repro.core.system import LOVO
 from repro.errors import (
     ReproError,
     ServiceOverloadedError,
     ServingError,
+    ShardError,
+    ShardUnavailableError,
     SystemNotReadyError,
+    error_envelope,
 )
 
 
@@ -70,12 +80,18 @@ __all__ = [
     "IndexConfig",
     "QueryConfig",
     "ServeConfig",
+    "ShardConfig",
+    "QueryRequest",
+    "QueryOptions",
     "QueryResponse",
     "BatchQueryResponse",
     "ObjectQueryResult",
     "ReproError",
     "ServingError",
     "ServiceOverloadedError",
+    "ShardError",
+    "ShardUnavailableError",
     "SystemNotReadyError",
+    "error_envelope",
     "__version__",
 ]

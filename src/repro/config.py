@@ -156,6 +156,50 @@ class QueryConfig:
 
 
 @dataclass(frozen=True)
+class ShardConfig:
+    """Configuration of the sharded scatter-gather layer (:mod:`repro.shard`).
+
+    Attributes:
+        num_shards: Number of partitions the vector collections are split
+            into.  ``1`` keeps the classic single-database layout (the
+            sharded code path is bypassed entirely).
+        partitioner: ``"hash"`` routes each entity by a stable hash of its
+            external id; ``"kmeans"`` clusters the vectors themselves so
+            neighbouring vectors land on the same shard.
+        num_replicas: In-process replicas registered per shard.  Replicas
+            share the primary's data but carry independent health state, so
+            the router can exercise round-robin routing and failover; use
+            ``ShardedDatabase.add_replica`` to attach physically distinct
+            backends (e.g. separately loaded snapshot copies).
+        max_parallel: Worker threads used to fan searches (and snapshot
+            loads) out across shards.  ``0`` means "one thread per shard".
+        partition_seed: Seed of the k-means partitioner (ignored by hash).
+        partition_iterations: Lloyd iterations of the k-means partitioner.
+    """
+
+    num_shards: int = 1
+    partitioner: str = "hash"
+    num_replicas: int = 1
+    max_parallel: int = 0
+    partition_seed: int = 11
+    partition_iterations: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        if self.partitioner not in {"hash", "kmeans"}:
+            raise ConfigurationError(
+                f"Unknown partitioner {self.partitioner!r}; expected 'hash' or 'kmeans'"
+            )
+        if self.num_replicas <= 0:
+            raise ConfigurationError("num_replicas must be positive")
+        if self.max_parallel < 0:
+            raise ConfigurationError("max_parallel must be non-negative (0 = one per shard)")
+        if self.partition_iterations <= 0:
+            raise ConfigurationError("partition_iterations must be positive")
+
+
+@dataclass(frozen=True)
 class ServeConfig:
     """Configuration of the concurrent query-serving subsystem (:mod:`repro.serve`).
 
@@ -223,6 +267,7 @@ class LOVOConfig:
     index: IndexConfig = field(default_factory=IndexConfig)
     query: QueryConfig = field(default_factory=QueryConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
+    shard: ShardConfig = field(default_factory=ShardConfig)
 
     def with_overrides(
         self,
@@ -231,6 +276,7 @@ class LOVOConfig:
         index: IndexConfig | None = None,
         query: QueryConfig | None = None,
         serve: ServeConfig | None = None,
+        shard: ShardConfig | None = None,
     ) -> "LOVOConfig":
         """Return a copy with selected sub-configurations replaced."""
         return LOVOConfig(
@@ -239,6 +285,7 @@ class LOVOConfig:
             index=index or self.index,
             query=query or self.query,
             serve=serve or self.serve,
+            shard=shard or self.shard,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -263,9 +310,11 @@ class LOVOConfig:
             "keyframes": KeyframeConfig,
             "index": IndexConfig,
             "query": QueryConfig,
-            # Snapshots written before the serving subsystem carry no "serve"
-            # section; ``payload.get`` below falls back to the defaults.
+            # Snapshots written before the serving or sharding subsystems
+            # carry no "serve"/"shard" section; ``payload.get`` below falls
+            # back to the defaults.
             "serve": ServeConfig,
+            "shard": ShardConfig,
         }
         unknown = set(payload) - set(sections)
         if unknown:

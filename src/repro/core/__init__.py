@@ -1,5 +1,6 @@
 """LOVO core: video summary, database storage, and the two-stage query strategy."""
 
+from repro.core.query import QueryOptions, QueryRequest
 from repro.core.results import BatchQueryResponse, ObjectQueryResult, QueryResponse
 from repro.core.storage import LOVOStorage
 from repro.core.summary import SummaryOutput, VideoSummarizer
@@ -10,6 +11,8 @@ __all__ = [
     "VideoSummarizer",
     "SummaryOutput",
     "LOVOStorage",
+    "QueryRequest",
+    "QueryOptions",
     "ObjectQueryResult",
     "QueryResponse",
     "BatchQueryResponse",

@@ -14,7 +14,9 @@ boxes are returned.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.config import QueryConfig
 from repro.core.results import BatchQueryResponse, ObjectQueryResult, QueryResponse
@@ -31,6 +33,189 @@ from repro.errors import QueryError
 from repro.utils.timing import PhaseTimer
 from repro.vectordb.collection import SearchHit
 from repro.video.model import Frame
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Validated per-request knobs, shared by every query entry point.
+
+    ``None`` means "use the system's :class:`~repro.config.QueryConfig`
+    default" — :meth:`resolved` turns the options into the effective
+    ``(fast_search_k, top_n)`` pair a request actually runs with.  The class
+    is frozen and hashable so it can key caches and batch groups directly,
+    and it is deliberately shard/replica-invariant: nothing in here depends
+    on how the backend is partitioned.
+    """
+
+    top_n: Optional[int] = None
+    fast_search_k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("top_n", "fast_search_k"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
+                raise QueryError(f"QueryOptions.{name} must be a positive integer or None")
+
+    def resolved(self, config: QueryConfig) -> Tuple[int, int]:
+        """The effective ``(fast_search_k, top_n)`` under a query config."""
+        return (
+            self.fast_search_k or config.fast_search_k,
+            self.top_n or config.rerank_n,
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-able form; defaulted (``None``) fields are omitted."""
+        payload: Dict[str, int] = {}
+        if self.top_n is not None:
+            payload["top_n"] = self.top_n
+        if self.fast_search_k is not None:
+            payload["fast_search_k"] = self.fast_search_k
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object] | None) -> "QueryOptions":
+        """Parse options from JSON; unknown fields are a :class:`QueryError`."""
+        if payload is None:
+            return cls()
+        if not isinstance(payload, Mapping):
+            raise QueryError("Query options must be a JSON object")
+        unknown = set(payload) - {"top_n", "fast_search_k"}
+        if unknown:
+            raise QueryError(f"Unknown query option(s): {sorted(unknown)}")
+        return cls(
+            top_n=payload.get("top_n"),  # type: ignore[arg-type]
+            fast_search_k=payload.get("fast_search_k"),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """The canonical, validated form of one query.
+
+    Every public entry point — ``LOVO.query``, ``LOVO.query_batch``,
+    ``ServingEngine.submit``, and the ``/v1`` HTTP handlers — accepts or
+    constructs one of these, so validation lives in exactly one place.
+    """
+
+    text: str
+    options: QueryOptions = field(default_factory=QueryOptions)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.text, str) or not self.text.strip():
+            raise QueryError("Query text must be non-empty")
+        if not isinstance(self.options, QueryOptions):
+            raise QueryError("QueryRequest.options must be a QueryOptions")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON wire form: ``{"query": ..., "options": {...}?}``."""
+        payload: Dict[str, object] = {"query": self.text}
+        options = self.options.to_dict()
+        if options:
+            payload["options"] = options
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "QueryRequest":
+        """Parse the wire form, accepting the legacy top-level ``top_n``."""
+        if not isinstance(payload, Mapping):
+            raise QueryError("Query request must be a JSON object")
+        text = payload.get("query")
+        if not isinstance(text, str):
+            raise QueryError('Query request must contain a string "query" field')
+        options = QueryOptions.from_dict(payload.get("options"))  # type: ignore[arg-type]
+        legacy_top_n = payload.get("top_n")
+        if legacy_top_n is not None:
+            options = _merge_top_n(options, legacy_top_n)
+        return cls(text=text, options=options)
+
+
+def _merge_top_n(options: QueryOptions, top_n: object) -> QueryOptions:
+    """Fold a legacy ``top_n`` value into options, rejecting conflicts."""
+    if isinstance(top_n, bool) or not isinstance(top_n, int) or top_n <= 0:
+        raise QueryError('"top_n" must be a positive integer')
+    if options.top_n is not None and options.top_n != top_n:
+        raise QueryError(
+            f"Conflicting top_n: options say {options.top_n}, legacy argument says {top_n}"
+        )
+    return replace(options, top_n=top_n)
+
+
+def _warn_top_n(caller: str) -> None:
+    warnings.warn(
+        f"{caller}(top_n=...) is deprecated; pass options=QueryOptions(top_n=...) "
+        "or a QueryRequest instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def as_query_request(
+    request: Union[str, QueryRequest],
+    top_n: int | None = None,
+    options: QueryOptions | None = None,
+    *,
+    caller: str = "query",
+) -> QueryRequest:
+    """Coerce the public shim surface into one canonical :class:`QueryRequest`.
+
+    Accepts a bare query string (first-class, no warning) or a ready
+    :class:`QueryRequest`; the legacy ``top_n`` keyword keeps working but
+    emits a :class:`DeprecationWarning`.
+    """
+    if top_n is not None:
+        _warn_top_n(caller)
+    if isinstance(request, QueryRequest):
+        if options is not None:
+            raise QueryError(
+                f"{caller}() got both a QueryRequest and separate options; "
+                "put the options inside the request"
+            )
+        if top_n is not None:
+            request = replace(request, options=_merge_top_n(request.options, top_n))
+        return request
+    if not isinstance(request, str):
+        raise QueryError(f"{caller}() expects a query string or QueryRequest")
+    merged = options or QueryOptions()
+    if top_n is not None:
+        merged = _merge_top_n(merged, top_n)
+    return QueryRequest(text=request, options=merged)
+
+
+def as_query_batch(
+    requests: Sequence[Union[str, QueryRequest]],
+    top_n: int | None = None,
+    options: QueryOptions | None = None,
+    *,
+    caller: str = "query_batch",
+) -> Tuple[List[str], QueryOptions]:
+    """Coerce a batch of queries into texts plus one shared :class:`QueryOptions`.
+
+    A batch executes as one engine pass, so all requests must agree on their
+    options: per-request options are allowed only when they are all equal
+    (and consistent with the batch-level ``options``/legacy ``top_n``).
+    """
+    if isinstance(requests, (str, QueryRequest)):
+        raise QueryError(f"{caller}() expects a sequence of queries, not a single one")
+    if top_n is not None:
+        _warn_top_n(caller)
+    merged = options or QueryOptions()
+    if top_n is not None:
+        merged = _merge_top_n(merged, top_n)
+    texts: List[str] = []
+    explicit = merged != QueryOptions()
+    for request in requests:
+        coerced = as_query_request(request, caller=caller)
+        if coerced.options != QueryOptions():
+            if not explicit:
+                merged, explicit = coerced.options, True
+            elif coerced.options != merged:
+                raise QueryError(
+                    f"{caller}() requests must share one QueryOptions per batch"
+                )
+        texts.append(coerced.text)
+    return texts, merged
 
 
 class QueryStrategy:
@@ -59,14 +244,26 @@ class QueryStrategy:
         """The query configuration (k, n, ablation switches)."""
         return self._config
 
-    def query(self, text: str, top_n: int | None = None) -> QueryResponse:
-        """Execute a complex object query end to end."""
+    def query(
+        self,
+        request: Union[str, QueryRequest],
+        top_n: int | None = None,
+        *,
+        options: QueryOptions | None = None,
+    ) -> QueryResponse:
+        """Execute a complex object query end to end.
+
+        Accepts a query string or a canonical :class:`QueryRequest`; the
+        ``top_n`` keyword is a deprecated shim for ``options``.
+        """
+        coerced = as_query_request(request, top_n, options, caller="QueryStrategy.query")
         timer = PhaseTimer()
+        text = coerced.text
         parsed = self._text_encoder.parse(text)
-        top_n = top_n or self._config.rerank_n
+        fast_k, top_n = coerced.options.resolved(self._config)
 
         with timer.phase("fast_search"):
-            candidate_frames, patch_hits = self._fast_search(parsed)
+            candidate_frames, patch_hits = self._fast_search(parsed, fast_k)
 
         if self._config.rerank_enabled and candidate_frames:
             with timer.phase("rerank"):
@@ -82,7 +279,11 @@ class QueryStrategy:
         return response
 
     def query_batch(
-        self, texts: Sequence[str], top_n: int | None = None
+        self,
+        requests: Sequence[Union[str, QueryRequest]],
+        top_n: int | None = None,
+        *,
+        options: QueryOptions | None = None,
     ) -> BatchQueryResponse:
         """Execute ``m`` complex object queries in one engine pass.
 
@@ -92,11 +293,15 @@ class QueryStrategy:
         exactly once no matter how many queries retrieved it — that sharing is
         where the batch path beats ``m`` sequential :meth:`query` calls.  Each
         query's hits and scores are identical to what a sequential call would
-        return.
+        return.  Requests may be strings or :class:`QueryRequest` objects but
+        must share one :class:`QueryOptions` (the batch runs as one pass).
         """
+        texts, batch_options = as_query_batch(
+            requests, top_n, options, caller="QueryStrategy.query_batch"
+        )
         timer = PhaseTimer()
         parsed_list = [self._text_encoder.parse(text) for text in texts]
-        top_n = top_n or self._config.rerank_n
+        fast_k, top_n = batch_options.resolved(self._config)
         num_queries = len(parsed_list)
         if num_queries == 0:
             return BatchQueryResponse(metadata={"batch_size": 0})
@@ -110,7 +315,7 @@ class QueryStrategy:
         with timer.phase("fast_search"):
             query_matrix = self._text_encoder.encode_batch(unique)
             hit_lists = self._storage.search_batch(
-                query_matrix, self._config.fast_search_k, use_ann=self._config.ann_enabled
+                query_matrix, fast_k, use_ann=self._config.ann_enabled
             )
             grouped = {
                 parsed: self._group_hits(hits)
@@ -174,12 +379,12 @@ class QueryStrategy:
         )
 
     def _fast_search(
-        self, parsed: ParsedQuery
+        self, parsed: ParsedQuery, fast_k: int
     ) -> Tuple[List[str], List[Tuple[str, float]]]:
         """Stage 1: ANN top-k patches, grouped into candidate frames."""
         query_vector = self._text_encoder.encode(parsed)
         hits = self._storage.search(
-            query_vector, self._config.fast_search_k, use_ann=self._config.ann_enabled
+            query_vector, fast_k, use_ann=self._config.ann_enabled
         )
         return self._group_hits(hits)
 

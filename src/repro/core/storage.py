@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from dataclasses import asdict
 from pathlib import Path
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
-from repro.config import IndexConfig
+from repro.config import IndexConfig, ShardConfig
 from repro.encoders.vision import PatchEncoding
 from repro.errors import SnapshotCorruptionError, VectorDatabaseError
+from repro.shard.database import ShardedCollection, ShardedDatabase
 from repro.utils.serialization import load_json, save_json
 from repro.utils.timing import PhaseTimer
 from repro.vectordb.collection import SearchHit, VectorCollection
@@ -26,9 +27,22 @@ from repro.vectordb.database import VectorDatabase
 from repro.vectordb.metadata import FrameRecord, MetadataStore, PatchRecord
 from repro.video.model import Frame
 
+#: Either vector-database backend: the classic single-process one or the
+#: sharded scatter-gather one.  They expose the same API surface.
+AnyVectorDatabase = Union[VectorDatabase, ShardedDatabase]
+AnyVectorCollection = Union[VectorCollection, ShardedCollection]
+
 
 class LOVOStorage:
-    """Vector collection + relational metadata, linked by patch id."""
+    """Vector collection + relational metadata, linked by patch id.
+
+    The vector side runs on either backend: a plain
+    :class:`~repro.vectordb.database.VectorDatabase` or a
+    :class:`~repro.shard.database.ShardedDatabase` (pass ``shard_config``
+    with ``num_shards > 1``, or an explicit ``database``).  Everything above
+    this class is backend-agnostic — the two expose the same API and return
+    bit-identical results.
+    """
 
     COLLECTION_NAME = "lovo_patches"
 
@@ -36,12 +50,18 @@ class LOVOStorage:
         self,
         dim: int,
         index_config: IndexConfig | None = None,
-        database: VectorDatabase | None = None,
+        database: AnyVectorDatabase | None = None,
         metadata: MetadataStore | None = None,
+        shard_config: ShardConfig | None = None,
     ) -> None:
         self._dim = dim
         self._index_config = index_config or IndexConfig()
-        self._database = database or VectorDatabase()
+        if database is None:
+            if shard_config is not None and shard_config.num_shards > 1:
+                database = ShardedDatabase(shard_config)
+            else:
+                database = VectorDatabase()
+        self._database = database
         self._metadata = metadata or MetadataStore()
         # A database restored from a snapshot already carries the patch
         # collection; adopt it instead of creating a fresh (empty) one.
@@ -60,9 +80,25 @@ class LOVOStorage:
             )
 
     @property
-    def collection(self) -> VectorCollection:
+    def collection(self) -> AnyVectorCollection:
         """The underlying vector collection of class embeddings."""
         return self._collection
+
+    @property
+    def database(self) -> AnyVectorDatabase:
+        """The vector-database backend (plain or sharded)."""
+        return self._database
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the vector backend is a scatter-gather sharded database."""
+        return isinstance(self._database, ShardedDatabase)
+
+    def backend_status(self) -> Dict[str, object]:
+        """Backend topology for health/stats endpoints and manifests."""
+        if isinstance(self._database, ShardedDatabase):
+            return {"sharded": True, **self._database.status()}
+        return {"sharded": False, "num_shards": 1}
 
     @property
     def metadata(self) -> MetadataStore:
@@ -158,7 +194,14 @@ class LOVOStorage:
         root = Path(path)
         document = load_json(root / "storage.json")
         index_config = IndexConfig(**document["index_config"])
-        database = VectorDatabase.load(root / "vectordb")
+        # The sharded backend leaves a `sharded.json` marker at its root;
+        # dispatch on it so one load path covers both snapshot layouts
+        # (sharded loads fan the per-shard reads across a thread pool).
+        database: AnyVectorDatabase
+        if (root / "vectordb" / "sharded.json").exists():
+            database = ShardedDatabase.load(root / "vectordb")
+        else:
+            database = VectorDatabase.load(root / "vectordb")
         if not database.has_collection(cls.COLLECTION_NAME):
             raise SnapshotCorruptionError(
                 f"Storage snapshot has no {cls.COLLECTION_NAME!r} collection"

@@ -20,7 +20,13 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import LOVOConfig
-from repro.core.query import QueryStrategy
+from repro.core.query import (
+    QueryOptions,
+    QueryRequest,
+    QueryStrategy,
+    as_query_batch,
+    as_query_request,
+)
 from repro.core.results import BatchQueryResponse, QueryResponse
 from repro.core.storage import LOVOStorage
 from repro.core.summary import SummaryOutput, VideoSummarizer
@@ -130,6 +136,7 @@ class LOVO:
             self._storage = LOVOStorage(
                 dim=self._config.encoder.class_embedding_dim,
                 index_config=self._config.index,
+                shard_config=self._config.shard,
             )
         indexing_timer = PhaseTimer()
         self._storage.ingest(summary.keyframes, summary.encodings, timer=indexing_timer)
@@ -160,17 +167,33 @@ class LOVO:
         )
         return summary
 
-    def query(self, text: str, top_n: int | None = None) -> QueryResponse:
-        """Answer one complex object query (Algorithm 2)."""
+    def query(
+        self,
+        request: str | QueryRequest,
+        top_n: int | None = None,
+        *,
+        options: QueryOptions | None = None,
+    ) -> QueryResponse:
+        """Answer one complex object query (Algorithm 2).
+
+        Accepts a query string or a canonical :class:`~repro.core.query.
+        QueryRequest`.  The ``top_n`` keyword keeps working but is deprecated
+        in favour of ``options=QueryOptions(top_n=...)``.
+        """
         if self._strategy is None:
             raise SystemNotReadyError("Call ingest() before query()")
-        response = self._strategy.query(text, top_n=top_n)
+        coerced = as_query_request(request, top_n, options, caller="LOVO.query")
+        response = self._strategy.query(coerced)
         for phase, seconds in response.timings.items():
             self._timer.add(phase, seconds)
         return response
 
     def query_batch(
-        self, texts: Sequence[str], top_n: int | None = None
+        self,
+        requests: Sequence[str | QueryRequest],
+        top_n: int | None = None,
+        *,
+        options: QueryOptions | None = None,
     ) -> BatchQueryResponse:
         """Answer several complex object queries in one batched engine pass.
 
@@ -178,10 +201,16 @@ class LOVO:
         amortises text encoding, the ANN probes, and the re-encoding of
         candidate frames shared between queries, so throughput scales with
         query concurrency instead of paying the full pipeline per call.
+        Requests may be strings or :class:`~repro.core.query.QueryRequest`
+        objects sharing one :class:`~repro.core.query.QueryOptions`; the
+        ``top_n`` keyword is a deprecated shim.
         """
         if self._strategy is None:
             raise SystemNotReadyError("Call ingest() before query_batch()")
-        batch = self._strategy.query_batch(texts, top_n=top_n)
+        texts, batch_options = as_query_batch(
+            requests, top_n, options, caller="LOVO.query_batch"
+        )
+        batch = self._strategy.query_batch(texts, options=batch_options)
         for phase, seconds in batch.timings.items():
             self._timer.add(phase, seconds)
         return batch
@@ -207,6 +236,7 @@ class LOVO:
             frames_processed=self._summary.frames_processed,
             total_frames=self._summary.total_frames,
             reranker_config=asdict(self._reranker.config),
+            info={"backend": self._storage.backend_status()},
         )
 
     @classmethod

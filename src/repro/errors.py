@@ -3,53 +3,107 @@
 All library-specific errors derive from :class:`ReproError` so that callers can
 catch everything raised by the package with a single ``except`` clause while
 still being able to discriminate between subsystems.
+
+Every error class also carries two class attributes used by the versioned
+HTTP surface (:mod:`repro.serve.http`) to build its JSON error envelope:
+
+* ``code`` — a stable machine-readable slug identifying the error kind;
+* ``retryable`` — whether the same request may succeed if simply retried
+  (backpressure, transient unavailability) as opposed to being permanently
+  wrong (validation failures, corrupt snapshots).
+
+The envelope is ``{"error": {"code", "message", "retryable"}}``; see
+:func:`error_envelope`.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 
 class ReproError(Exception):
     """Base class for every error raised by the ``repro`` package."""
 
+    code: str = "internal_error"
+    retryable: bool = False
+
 
 class ConfigurationError(ReproError):
     """Raised when a configuration object contains inconsistent values."""
+
+    code = "invalid_configuration"
 
 
 class VideoError(ReproError):
     """Raised for malformed video, frame, or dataset structures."""
 
+    code = "invalid_video"
+
 
 class EncodingError(ReproError):
     """Raised when text or vision encoding receives invalid input."""
+
+    code = "encoding_failed"
 
 
 class VectorDatabaseError(ReproError):
     """Base class for vector-database errors."""
 
+    code = "vectordb_error"
+
 
 class CollectionNotFoundError(VectorDatabaseError):
     """Raised when a named collection does not exist in the database."""
+
+    code = "collection_not_found"
 
 
 class CollectionExistsError(VectorDatabaseError):
     """Raised when creating a collection whose name is already taken."""
 
+    code = "collection_exists"
+
 
 class IndexNotBuiltError(VectorDatabaseError):
     """Raised when searching an index that has not been built or trained."""
+
+    code = "index_not_built"
 
 
 class DimensionMismatchError(VectorDatabaseError):
     """Raised when a vector's dimensionality does not match the collection."""
 
+    code = "dimension_mismatch"
+
 
 class MetadataError(VectorDatabaseError):
     """Raised for relational metadata store failures."""
 
+    code = "metadata_error"
+
+
+class ShardError(VectorDatabaseError):
+    """Base class for errors raised by the sharded scatter-gather layer."""
+
+    code = "shard_error"
+
+
+class ShardUnavailableError(ShardError):
+    """Raised when a shard has no healthy replica left to answer a query.
+
+    This is an availability condition, not a validation failure: a replica
+    may recover (or be re-added), so the request is worth retrying.  The HTTP
+    frontend maps it to *503 Service Unavailable*.
+    """
+
+    code = "shard_unavailable"
+    retryable = True
+
 
 class QueryError(ReproError):
     """Raised when a query cannot be parsed or executed."""
+
+    code = "invalid_query"
 
 
 class SystemNotReadyError(QueryError):
@@ -60,6 +114,9 @@ class SystemNotReadyError(QueryError):
     clean *503 Service Unavailable* instead of a generic server error.
     """
 
+    code = "not_ready"
+    retryable = True
+
 
 class UnsupportedQueryError(QueryError):
     """Raised by baseline systems that cannot express a given query.
@@ -68,9 +125,13 @@ class UnsupportedQueryError(QueryError):
     unseen classes or novel spatial relations).
     """
 
+    code = "unsupported_query"
+
 
 class EvaluationError(ReproError):
     """Raised when an evaluation metric receives ill-formed input."""
+
+    code = "evaluation_error"
 
 
 class PersistenceError(ReproError):
@@ -81,13 +142,19 @@ class PersistenceError(ReproError):
     reported as a :class:`PersistenceError` (or one of its subclasses below).
     """
 
+    code = "persistence_error"
+
 
 class SnapshotVersionError(PersistenceError):
     """Raised when a snapshot's schema version is not supported by this code."""
 
+    code = "snapshot_version_skew"
+
 
 class SnapshotCorruptionError(PersistenceError):
     """Raised when a snapshot artifact fails checksum or structural validation."""
+
+    code = "snapshot_corrupt"
 
 
 class ServingError(ReproError):
@@ -98,6 +165,9 @@ class ServingError(ReproError):
     (:class:`QueryError` and friends) so HTTP status mapping stays precise.
     """
 
+    code = "service_unavailable"
+    retryable = True
+
 
 class ServiceOverloadedError(ServingError):
     """Raised when the serving engine's admission queue is full.
@@ -106,3 +176,25 @@ class ServiceOverloadedError(ServingError):
     delay.  The HTTP frontend maps it to *503 Service Unavailable* with a
     ``Retry-After`` header.
     """
+
+    code = "overloaded"
+    retryable = True
+
+
+def error_envelope(error: BaseException) -> Dict[str, object]:
+    """The v1 JSON error envelope for any exception.
+
+    Library errors contribute their ``code``/``retryable`` attributes;
+    anything else is reported as a non-retryable ``internal_error``.
+    """
+    if isinstance(error, ReproError):
+        code, retryable = error.code, error.retryable
+    else:
+        code, retryable = "internal_error", False
+    return {
+        "error": {
+            "code": code,
+            "message": str(error) or type(error).__name__,
+            "retryable": bool(retryable),
+        }
+    }

@@ -25,17 +25,30 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.core.query import QueryOptions
 from repro.errors import ServiceOverloadedError, ServingError
 
 
 @dataclass
 class PendingQuery:
-    """One admitted query waiting to be coalesced into a micro-batch."""
+    """One admitted query waiting to be coalesced into a micro-batch.
+
+    ``options`` is the canonical per-request state; ``top_n`` is kept as a
+    deprecated construction shim (it is folded into :meth:`effective_options`
+    when no explicit options were given).
+    """
 
     text: str
     top_n: Optional[int] = None
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    options: Optional[QueryOptions] = None
+
+    def effective_options(self) -> QueryOptions:
+        """The canonical options of this query (legacy ``top_n`` folded in)."""
+        if self.options is not None:
+            return self.options
+        return QueryOptions(top_n=self.top_n)
 
 
 class MicroBatcher:

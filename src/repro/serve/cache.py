@@ -19,6 +19,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Hashable, Optional, Tuple, TypeVar
 
+from repro.config import QueryConfig
+from repro.core.query import QueryOptions
 from repro.core.results import QueryResponse
 from repro.utils.cache import LRUCache
 
@@ -108,6 +110,38 @@ class ResultCache:
     def make_key(text: str, fast_search_k: int, top_n: int) -> Tuple[str, int, int]:
         """The cache key of a query: normalized text plus ``(k, n)``."""
         return (normalize_query_text(text), int(fast_search_k), int(top_n))
+
+    @staticmethod
+    def key_for(
+        text: str, options: QueryOptions, config: QueryConfig
+    ) -> Tuple[str, int, int]:
+        """The cache key of a canonical request under a query config.
+
+        Keyed on the *resolved* retrieval depths, so semantically identical
+        requests collide regardless of which API shim produced them — an
+        explicit ``QueryOptions(top_n=40)``, a legacy ``top_n=40`` kwarg,
+        and a bare string under a config whose default is 40 all share one
+        entry.  The key is also shard/replica-invariant by construction:
+        backend topology never enters it.
+        """
+        fast_search_k, top_n = options.resolved(config)
+        return ResultCache.make_key(text, fast_search_k, top_n)
+
+    def get_for(
+        self, text: str, options: QueryOptions, config: QueryConfig
+    ) -> Optional[QueryResponse]:
+        """Options-aware :meth:`get` (see :meth:`key_for`)."""
+        return self.get(text, *options.resolved(config))
+
+    def put_for(
+        self,
+        text: str,
+        options: QueryOptions,
+        config: QueryConfig,
+        response: QueryResponse,
+    ) -> None:
+        """Options-aware :meth:`put` (see :meth:`key_for`)."""
+        self.put(text, *options.resolved(config), response)
 
     def get(self, text: str, fast_search_k: int, top_n: int) -> Optional[QueryResponse]:
         """A fresh response object for a live cached result, else ``None``.

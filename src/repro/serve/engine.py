@@ -29,9 +29,14 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import ServeConfig
+from repro.core.query import QueryOptions, QueryRequest, as_query_request
 from repro.core.results import QueryResponse
 from repro.core.system import LOVO
-from repro.errors import QueryError, ServiceOverloadedError, ServingError
+from repro.errors import (
+    ServiceOverloadedError,
+    ServingError,
+    SystemNotReadyError,
+)
 from repro.serve.batcher import MicroBatcher, PendingQuery
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import ServiceMetrics
@@ -155,32 +160,47 @@ class ServingEngine:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
-    def submit(self, text: str, top_n: int | None = None) -> "Future[QueryResponse]":
+    def submit(
+        self,
+        request: "str | QueryRequest",
+        top_n: int | None = None,
+        *,
+        options: QueryOptions | None = None,
+    ) -> "Future[QueryResponse]":
         """Submit one query; returns a future resolving to its response.
 
-        Raises :class:`~repro.errors.ServiceOverloadedError` when the
-        admission queue is full and :class:`~repro.errors.QueryError` for
-        text the engine could never answer (validated here so one bad query
-        cannot fail the micro-batch it would have been coalesced into).
+        Accepts a query string or a canonical :class:`~repro.core.query.
+        QueryRequest` (the ``top_n`` keyword is a deprecated shim).  Raises
+        :class:`~repro.errors.ServiceOverloadedError` when the admission
+        queue is full and :class:`~repro.errors.QueryError` for requests the
+        engine could never answer (validated here so one bad query cannot
+        fail the micro-batch it would have been coalesced into).
         """
         if not self._running:
             raise ServingError("ServingEngine is not running; call start() first")
-        if not text or not text.strip():
-            raise QueryError("Query text must be non-empty")
+        coerced = as_query_request(request, top_n, options, caller="ServingEngine.submit")
+        text = coerced.text
         self._metrics.record_request()
 
         started = time.perf_counter()
         if self._cache is not None:
             # Hit/miss accounting lives in the cache itself (the single
             # source of truth surfaced by stats()).
-            cached = self._cache.get(text, *self._effective_depths(top_n))
+            cached = self._cache.get_for(
+                text, coerced.options, self._system.config.query
+            )
             if cached is not None:
                 self._metrics.record_completion(time.perf_counter() - started)
                 future: "Future[QueryResponse]" = Future()
                 future.set_result(cached)
                 return future
 
-        pending = PendingQuery(text=text, top_n=top_n, enqueued_at=started)
+        pending = PendingQuery(
+            text=text,
+            top_n=coerced.options.top_n,
+            enqueued_at=started,
+            options=coerced.options,
+        )
         try:
             self._batcher.submit(pending)
         except ServiceOverloadedError:
@@ -191,19 +211,28 @@ class ServingEngine:
         return pending.future
 
     def query(
-        self, text: str, top_n: int | None = None, timeout: float | None = None
+        self,
+        request: "str | QueryRequest",
+        top_n: int | None = None,
+        timeout: float | None = None,
+        *,
+        options: QueryOptions | None = None,
     ) -> QueryResponse:
         """Submit one query and block for its response (HTTP-path helper)."""
         effective_timeout = (
             timeout if timeout is not None else self._config.request_timeout_seconds
         )
-        return self.submit(text, top_n=top_n).result(timeout=effective_timeout)
+        return self.submit(request, top_n=top_n, options=options).result(
+            timeout=effective_timeout
+        )
 
     def query_many(
         self,
-        texts: Sequence[str],
+        requests: Sequence["str | QueryRequest"],
         top_n: int | None = None,
         timeout: float | None = None,
+        *,
+        options: QueryOptions | None = None,
     ) -> List[QueryResponse]:
         """Submit several queries at once and block for all responses.
 
@@ -217,13 +246,14 @@ class ServingEngine:
         # Validate everything before admitting anything, and on a mid-loop
         # rejection cancel what was already admitted — otherwise a failed
         # batch would still consume worker capacity (exactly when overloaded).
-        for text in texts:
-            if not text or not text.strip():
-                raise QueryError("Query text must be non-empty")
+        coerced = [
+            as_query_request(request, top_n, options, caller="ServingEngine.query_many")
+            for request in requests
+        ]
         futures: List["Future[QueryResponse]"] = []
         try:
-            for text in texts:
-                futures.append(self.submit(text, top_n=top_n))
+            for request in coerced:
+                futures.append(self.submit(request))
         except ServingError:
             for future in futures:
                 future.cancel()
@@ -244,6 +274,7 @@ class ServingEngine:
         snapshot["max_batch_size"] = self._config.max_batch_size
         snapshot["max_wait_ms"] = self._config.max_wait_ms
         snapshot["queue_capacity"] = self._config.queue_size
+        snapshot["backend"] = self._backend_status()
         if self._cache is not None:
             cache_stats = self._cache.stats()
             lookups = cache_stats["hits"] + cache_stats["misses"]
@@ -256,10 +287,15 @@ class ServingEngine:
             snapshot["cache"] = {"enabled": False}
         return snapshot
 
-    def _effective_depths(self, top_n: int | None) -> tuple:
-        """The ``(k, n)`` retrieval depths a query will actually run with."""
-        query_config = self._system.config.query
-        return (query_config.fast_search_k, top_n or query_config.rerank_n)
+    def _backend_status(self) -> Dict[str, object]:
+        """Backend topology (shard/replica health) for ``stats``/``healthz``."""
+        # AttributeError covers duck-typed stand-in systems without storage.
+        try:
+            storage = self._system.storage
+            status = storage.backend_status()
+        except (SystemNotReadyError, AttributeError):
+            return {"ready": False}
+        return {"ready": True, **status}
 
     def _worker_loop(self) -> None:
         while True:
@@ -275,21 +311,21 @@ class ServingEngine:
         ]
         if not live:
             return
-        # ``query_batch`` answers the whole batch at one top_n, so group by
-        # the effective depth; almost every real batch is a single group.
-        groups: Dict[Optional[int], List[PendingQuery]] = {}
+        # ``query_batch`` answers the whole batch under one QueryOptions, so
+        # group by it; almost every real batch is a single group.
+        groups: Dict[QueryOptions, List[PendingQuery]] = {}
         for pending in live:
-            groups.setdefault(pending.top_n, []).append(pending)
-        for top_n, group in groups.items():
-            self._process_group(top_n, group)
+            groups.setdefault(pending.effective_options(), []).append(pending)
+        for group_options, group in groups.items():
+            self._process_group(group_options, group)
 
-    def _process_group(self, top_n: Optional[int], group: List[PendingQuery]) -> None:
+    def _process_group(self, options: QueryOptions, group: List[PendingQuery]) -> None:
         # One histogram entry per actual engine pass (a coalesced batch with
-        # mixed top_n values executes as several passes).
+        # mixed options executes as several passes).
         self._metrics.record_batch(len(group))
         try:
             responses = self._system.query_batch(
-                [pending.text for pending in group], top_n=top_n
+                [pending.text for pending in group], options=options
             ).responses
         except BaseException as error:  # noqa: BLE001 - forwarded to callers
             for pending in group:
@@ -297,10 +333,9 @@ class ServingEngine:
                 pending.future.set_exception(error)
             return
         now = time.perf_counter()
+        query_config = self._system.config.query
         for pending, response in zip(group, responses):
             if self._cache is not None:
-                self._cache.put(
-                    pending.text, *self._effective_depths(top_n), response
-                )
+                self._cache.put_for(pending.text, options, query_config, response)
             self._metrics.record_completion(now - pending.enqueued_at)
             pending.future.set_result(response)

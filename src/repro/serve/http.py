@@ -1,21 +1,36 @@
-"""Stdlib-only HTTP frontend over the serving engine.
+"""Stdlib-only HTTP frontend over the serving engine (versioned ``/v1`` API).
 
 Built on :class:`http.server.ThreadingHTTPServer` — one handler thread per
 connection feeding the shared :class:`~repro.serve.engine.ServingEngine`, so
 concurrent HTTP clients are exactly the concurrent submitters the
 micro-batcher coalesces.  No web framework, no new dependency.
 
-Endpoints:
+Endpoints (all under ``/v1``):
 
-* ``POST /query`` — body ``{"query": str, "top_n": int?}``; answers one query.
-* ``POST /query_batch`` — body ``{"queries": [str, ...], "top_n": int?}``.
-* ``GET /healthz`` — liveness/readiness (503 until data is ingested/loaded).
-* ``GET /stats`` — the engine's full metrics snapshot.
+* ``POST /v1/query`` — body is the :class:`~repro.core.query.QueryRequest`
+  wire form ``{"query": str, "options": {"top_n": int?, "fast_search_k":
+  int?}?}``; the legacy top-level ``"top_n"`` field is still accepted.
+* ``POST /v1/query_batch`` — ``{"queries": [str, ...], "options": {...}?}``
+  (legacy top-level ``"top_n"`` accepted).
+* ``GET /v1/healthz`` — liveness/readiness (503 until data is ingested or
+  loaded); includes backend topology (shard and replica health) when the
+  system runs on the sharded scatter-gather database.
+* ``GET /v1/stats`` — the engine's full metrics snapshot.
 
-Error mapping: malformed requests → 400; overload (admission queue full),
-not-ready systems, and an engine that is not running (starting up or
-shutting down) → 503 (overload and shutdown add ``Retry-After``); request
-timeout → 504; anything else → 500.
+The unversioned paths (``/query``, ``/query_batch``, ``/healthz``,
+``/stats``) answer **308 Permanent Redirect** to their ``/v1`` equivalents
+for one release and will then be removed; 308 preserves the method and body,
+so a client that follows redirects keeps working unchanged.
+
+Every error answers a consistent JSON envelope mapped from the typed error
+hierarchy in :mod:`repro.errors`::
+
+    {"error": {"code": "<stable slug>", "message": str, "retryable": bool}}
+
+Status mapping: malformed requests → 400; overload (admission queue full),
+not-ready systems, shard unavailability, and an engine that is not running
+(starting up or shutting down) → 503 (overload and shutdown add
+``Retry-After``); request timeout → 504; anything else → 500.
 """
 
 from __future__ import annotations
@@ -26,6 +41,7 @@ from concurrent.futures import CancelledError as FutureCancelledError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Optional, Tuple
 
+from repro.core.query import QueryOptions, QueryRequest
 from repro.core.results import QueryResponse
 from repro.errors import (
     QueryError,
@@ -33,12 +49,24 @@ from repro.errors import (
     ServiceOverloadedError,
     ServingError,
     SystemNotReadyError,
+    error_envelope,
 )
 from repro.serve.engine import ServingEngine
 
 #: Request bodies above this size are rejected outright (64 KiB is orders of
 #: magnitude beyond any real query batch and bounds handler memory).
 MAX_BODY_BYTES = 64 * 1024
+
+#: Current (and only) API version prefix.
+API_PREFIX = "/v1"
+
+#: Unversioned paths kept as permanent redirects for one release.
+LEGACY_REDIRECTS = {
+    "/query": f"{API_PREFIX}/query",
+    "/query_batch": f"{API_PREFIX}/query_batch",
+    "/healthz": f"{API_PREFIX}/healthz",
+    "/stats": f"{API_PREFIX}/stats",
+}
 
 
 def response_payload(response: QueryResponse) -> Dict[str, object]:
@@ -61,20 +89,24 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
     # -- routing -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
+        if self.path == f"{API_PREFIX}/healthz":
             self._handle_healthz()
-        elif self.path == "/stats":
+        elif self.path == f"{API_PREFIX}/stats":
             self._send_json(200, self.server.engine.stats())
+        elif self.path in LEGACY_REDIRECTS:
+            self._send_redirect(LEGACY_REDIRECTS[self.path])
         else:
-            self._send_error(404, f"Unknown path {self.path!r}")
+            self._send_error(404, "not_found", f"Unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/query":
+        if self.path == f"{API_PREFIX}/query":
             self._guarded(self._handle_query)
-        elif self.path == "/query_batch":
+        elif self.path == f"{API_PREFIX}/query_batch":
             self._guarded(self._handle_query_batch)
+        elif self.path in LEGACY_REDIRECTS:
+            self._send_redirect(LEGACY_REDIRECTS[self.path])
         else:
-            self._send_error(404, f"Unknown path {self.path!r}")
+            self._send_error(404, "not_found", f"Unknown path {self.path!r}")
 
     # -- endpoint bodies ---------------------------------------------------
 
@@ -82,27 +114,31 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
         system = self.server.engine.system
         if system.num_entities == 0:
             self._send_json(
-                503, {"status": "not_ready", "reason": "no dataset ingested"}
+                503,
+                {
+                    "status": "not_ready",
+                    "reason": "no dataset ingested",
+                    "api_version": "v1",
+                },
             )
             return
         self._send_json(
             200,
             {
                 "status": "ok",
+                "api_version": "v1",
                 "num_entities": system.num_entities,
                 "num_keyframes": system.num_keyframes,
                 "datasets": system.ingested_datasets,
                 "index_type": system.storage.index_type,
+                "backend": system.storage.backend_status(),
             },
         )
 
     def _handle_query(self) -> None:
         body = self._read_json_body()
-        text = body.get("query")
-        if not isinstance(text, str):
-            raise _BadRequest('Body must contain a string "query" field')
-        top_n = _optional_depth(body.get("top_n"))
-        response = self.server.engine.query(text, top_n=top_n)
+        request = QueryRequest.from_dict(body)
+        response = self.server.engine.query(request)
         self._send_json(200, response_payload(response))
 
     def _handle_query_batch(self) -> None:
@@ -112,8 +148,15 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
             isinstance(text, str) for text in texts
         ):
             raise _BadRequest('Body must contain a "queries" list of strings')
-        top_n = _optional_depth(body.get("top_n"))
-        responses = self.server.engine.query_many(texts, top_n=top_n)
+        options = QueryOptions.from_dict(body.get("options"))  # type: ignore[arg-type]
+        legacy_top_n = body.get("top_n")
+        requests = [
+            QueryRequest.from_dict(
+                {"query": text, "options": options.to_dict(), "top_n": legacy_top_n}
+            )
+            for text in texts
+        ]
+        responses = self.server.engine.query_many(requests)
         self._send_json(
             200,
             {
@@ -128,26 +171,34 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
         """Run an endpoint body, mapping library errors to HTTP statuses."""
         try:
             handler()
-        except _BadRequest as error:
-            self._send_error(400, str(error))
         except ServiceOverloadedError as error:
-            self._send_error(503, str(error), headers={"Retry-After": "1"})
+            self._send_exception(503, error, headers={"Retry-After": "1"})
         except SystemNotReadyError as error:
-            self._send_error(503, str(error))
+            self._send_exception(503, error)
         except QueryError as error:
-            self._send_error(400, str(error))
+            # Includes _BadRequest: malformed bodies and invalid queries are
+            # both the caller's problem.
+            self._send_exception(400, error)
         except FutureTimeoutError:
-            self._send_error(504, "Query timed out")
+            self._send_error(504, "timeout", "Query timed out", retryable=True)
         except FutureCancelledError:
             # The engine is shutting down and dropped this request.
-            self._send_error(503, "Service is shutting down", headers={"Retry-After": "1"})
+            self._send_error(
+                503,
+                "service_unavailable",
+                "Service is shutting down",
+                retryable=True,
+                headers={"Retry-After": "1"},
+            )
         except ServingError as error:
-            # Engine not running (yet / anymore): unavailable, not broken.
-            self._send_error(503, str(error), headers={"Retry-After": "1"})
+            # Engine not running (yet / anymore), or a shard with no healthy
+            # replica: unavailable, not broken.
+            self._send_exception(503, error, headers={"Retry-After": "1"})
         except ReproError as error:
-            self._send_error(500, str(error))
+            status = 503 if error.retryable else 500
+            self._send_exception(status, error)
         except Exception:  # noqa: BLE001 - last-resort 500 instead of a dropped socket
-            self._send_error(500, "Internal server error")
+            self._send_error(500, "internal_error", "Internal server error")
 
     def _read_json_body(self) -> Dict[str, object]:
         try:
@@ -179,8 +230,42 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
+    def _send_redirect(self, location: str) -> None:
+        """308 Permanent Redirect (method- and body-preserving) to ``/v1``."""
+        # The request body (if any) is intentionally left unread; close the
+        # connection so HTTP/1.1 keep-alive cannot desynchronise.
+        self.close_connection = True
+        payload = {"redirect": location, "deprecated": self.path}
+        encoded = json.dumps(payload).encode("utf-8")
+        self.send_response(308)
+        self.send_header("Location", location)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _send_exception(
+        self, status: int, error: BaseException, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        self._send_envelope(status, error_envelope(error), headers)
+
     def _send_error(
-        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retryable: bool = False,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send_envelope(
+            status,
+            {"error": {"code": code, "message": message, "retryable": retryable}},
+            headers,
+        )
+
+    def _send_envelope(
+        self, status: int, payload: Dict[str, object], headers: Optional[Dict[str, str]]
     ) -> None:
         # An errored request may leave an unread body on the socket (e.g. an
         # oversized or malformed one rejected before rfile was drained), which
@@ -188,23 +273,16 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
         # client re-connects cleanly.
         self.close_connection = True
         merged = {"Connection": "close", **(headers or {})}
-        self._send_json(status, {"error": message, "status": status}, headers=merged)
+        self._send_json(status, payload, headers=merged)
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence per-request stderr logging (metrics cover observability)."""
 
 
-class _BadRequest(Exception):
+class _BadRequest(QueryError):
     """Internal marker for malformed request bodies (maps to HTTP 400)."""
 
-
-def _optional_depth(value: object) -> Optional[int]:
-    """Validate an optional positive-integer ``top_n`` field."""
-    if value is None:
-        return None
-    if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
-        raise _BadRequest('"top_n" must be a positive integer')
-    return value
+    code = "bad_request"
 
 
 class LOVOHTTPServer(ThreadingHTTPServer):

@@ -36,6 +36,55 @@ def as_query_matrix(queries: np.ndarray, dim: int, context: str = "queries") -> 
     return batch
 
 
+#: Fixed GEMM tile shape used by :func:`exact_scores`.  Every tile the BLAS
+#: ever sees is exactly ``(_SCORE_ROW_BLOCK, dim) @ (dim, _SCORE_QUERY_BLOCK)``,
+#: so kernel selection — and with it the floating-point reduction order —
+#: cannot depend on how many vectors or queries a caller happens to hold.
+_SCORE_ROW_BLOCK = 2048
+_SCORE_QUERY_BLOCK = 8
+
+
+def exact_scores(matrix: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Inner-product scores ``(num_vectors, num_queries)``, bit-deterministically.
+
+    A plain ``queries @ matrix.T`` lets the BLAS pick its kernel from the
+    operand shapes, and different kernels reduce over the shared dimension in
+    different orders — so the same (vector, query) pair can score differently
+    at the last ulp depending on how many *other* rows sit in the matrix.
+    That breaks the sharded database's bit-exact-parity invariant: a shard
+    holds a row-subset of the global matrix, so its scores must not depend on
+    the subset's size.
+
+    This helper instead runs the product in zero-padded tiles of one fixed
+    shape.  Within a fixed-shape GEMM the result of each output element is
+    position-independent (verified empirically for the padded-tile layout and
+    pinned by the vectordb determinism tests), so every score depends only on
+    the row and query contents — not on matrix size, query-batch size, or
+    placement.  Zero rows/columns cost a bounded ~((block-1)/total) overhead
+    only on the final tile.
+    """
+    num_rows, dim = matrix.shape
+    num_queries = queries.shape[0]
+    scores = np.empty((num_rows, num_queries), dtype=np.float64)
+    query_tile = np.zeros((_SCORE_QUERY_BLOCK, dim), dtype=np.float64)
+    for q_start in range(0, num_queries, _SCORE_QUERY_BLOCK):
+        q_stop = min(q_start + _SCORE_QUERY_BLOCK, num_queries)
+        width = q_stop - q_start
+        query_tile[:width] = queries[q_start:q_stop]
+        query_tile[width:] = 0.0
+        for r_start in range(0, num_rows, _SCORE_ROW_BLOCK):
+            r_stop = min(r_start + _SCORE_ROW_BLOCK, num_rows)
+            chunk = matrix[r_start:r_stop]
+            if chunk.shape[0] < _SCORE_ROW_BLOCK:
+                row_tile = np.zeros((_SCORE_ROW_BLOCK, dim), dtype=np.float64)
+                row_tile[: chunk.shape[0]] = chunk
+                tile = row_tile @ query_tile.T
+            else:
+                tile = chunk @ query_tile.T
+            scores[r_start:r_stop, q_start:q_stop] = tile[: chunk.shape[0], :width]
+    return scores
+
+
 class VectorIndex(abc.ABC):
     """Abstract maximum-inner-product index over unit-norm vectors.
 

@@ -17,7 +17,7 @@ import numpy as np
 from repro.config import IndexConfig
 from repro.errors import SnapshotCorruptionError, VectorDatabaseError
 from repro.utils.serialization import load_arrays, load_json, save_arrays, save_json
-from repro.vectordb.base import IndexHit, VectorIndex, as_query_matrix
+from repro.vectordb.base import IndexHit, VectorIndex, as_query_matrix, exact_scores
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.ivfpq import IVFPQIndex
@@ -189,7 +189,7 @@ class VectorCollection:
         if self.num_entities == 0 or k <= 0:
             return [[] for _ in range(batch.shape[0])]
         matrix = np.vstack(self._vectors)
-        scores = batch @ matrix.T
+        scores = exact_scores(matrix, batch).T
         k = min(k, matrix.shape[0])
         results: List[List[SearchHit]] = []
         for row in scores:

@@ -7,7 +7,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.errors import SnapshotCorruptionError, VectorDatabaseError
-from repro.vectordb.base import IndexHit, VectorIndex
+from repro.vectordb.base import IndexHit, VectorIndex, exact_scores
 
 
 class FlatIndex(VectorIndex):
@@ -53,24 +53,26 @@ class FlatIndex(VectorIndex):
         if self._matrix.shape[0] == 0 or k <= 0:
             return []
         vector = self._validate_query(query)
-        scores = self._matrix @ vector
+        scores = exact_scores(self._matrix, vector[None, :])[:, 0]
         return self._rank_row(scores, k)
 
     def search_batch(self, queries: np.ndarray, k: int) -> List[List[IndexHit]]:
-        """Exact multi-query search: one ``(m, n)`` matrix product.
+        """Exact multi-query search: one tiled matrix-matrix product.
 
-        Scoring all ``m`` queries in a single GEMM instead of ``m`` separate
-        matrix-vector products is where the batch path earns its speedup —
-        the per-call Python and BLAS dispatch overhead is paid once for the
-        whole batch.
+        Scoring all ``m`` queries through shared GEMM tiles instead of ``m``
+        separate matrix-vector products is where the batch path earns its
+        speedup — the per-call Python and BLAS dispatch overhead is paid once
+        per tile for the whole batch.  The fixed tile shape (see
+        :func:`~repro.vectordb.base.exact_scores`) keeps scores bit-identical
+        regardless of how the stored rows are sharded.
         """
         batch = self._validate_query_batch(queries)
         self.build()
         assert self._matrix is not None and self._ids is not None
         if self._matrix.shape[0] == 0 or k <= 0:
             return [[] for _ in range(batch.shape[0])]
-        scores = batch @ self._matrix.T
-        return [self._rank_row(row, k) for row in scores]
+        scores = exact_scores(self._matrix, batch)
+        return [self._rank_row(scores[:, column], k) for column in range(batch.shape[0])]
 
     def to_state(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
         """Serialise the finalised score matrix and id vector.

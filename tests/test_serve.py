@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 import pytest
 
 from repro import LOVO, LOVOConfig, ServeConfig
+from repro.core.query import QueryOptions, QueryRequest
 from repro.core.results import BatchQueryResponse, QueryResponse
 from repro.errors import (
     ConfigurationError,
@@ -72,7 +73,8 @@ class StubSystem:
         self.block = block
         self._lock = threading.Lock()
 
-    def query_batch(self, texts: Sequence[str], top_n: Optional[int] = None):
+    def query_batch(self, texts: Sequence[str], top_n: Optional[int] = None,
+                    *, options=None):
         with self._lock:
             self.calls.append(list(texts))
         self.started.set()
@@ -473,7 +475,7 @@ class TestServingEngineWithStub:
 
     def test_engine_error_propagates_to_every_future_in_group(self):
         class ExplodingSystem(StubSystem):
-            def query_batch(self, texts, top_n=None):
+            def query_batch(self, texts, top_n=None, *, options=None):
                 raise RuntimeError("index melted")
 
         with stub_engine(ExplodingSystem(), max_batch_size=4, max_wait_ms=20.0) as engine:
@@ -567,8 +569,8 @@ class TestHTTPFrontend:
     def test_query_round_trip_matches_direct_call(self, http_service, lovo_system):
         base, _ = http_service
         text = BELLEVUE_QUERIES[0]
-        payload = self._post(base, "/query", {"query": text, "top_n": 5})
-        direct = lovo_system.query(text, top_n=5)
+        payload = self._post(base, "/v1/query", {"query": text, "options": {"top_n": 5}})
+        direct = lovo_system.query(QueryRequest(text, QueryOptions(top_n=5)))
         assert payload["query"] == text
         assert payload["num_results"] == len(direct.results)
         assert [r["frame_id"] for r in payload["results"]] == [
@@ -581,36 +583,76 @@ class TestHTTPFrontend:
     def test_query_batch_endpoint(self, http_service):
         base, _ = http_service
         texts = BELLEVUE_QUERIES[:3]
-        payload = self._post(base, "/query_batch", {"queries": texts})
+        payload = self._post(base, "/v1/query_batch", {"queries": texts})
         assert payload["batch_size"] == 3
         assert [entry["query"] for entry in payload["responses"]] == texts
 
+    def test_legacy_top_n_still_accepted(self, http_service, lovo_system):
+        base, _ = http_service
+        text = BELLEVUE_QUERIES[0]
+        payload = self._post(base, "/v1/query", {"query": text, "top_n": 5})
+        direct = lovo_system.query(QueryRequest(text, QueryOptions(top_n=5)))
+        assert [r["frame_id"] for r in payload["results"]] == [
+            r.frame_id for r in direct.results
+        ]
+
     def test_healthz_and_stats(self, http_service):
         base, _ = http_service
-        health = self._get(base, "/healthz")
+        health = self._get(base, "/v1/healthz")
         assert health["status"] == "ok"
+        assert health["api_version"] == "v1"
         assert health["num_entities"] > 0
-        self._post(base, "/query", {"query": BELLEVUE_QUERIES[0]})
-        stats = self._get(base, "/stats")
+        assert health["backend"]["sharded"] is False
+        self._post(base, "/v1/query", {"query": BELLEVUE_QUERIES[0]})
+        stats = self._get(base, "/v1/stats")
         assert stats["completed_total"] >= 1
         assert stats["running"] is True
+        assert stats["backend"]["ready"] is True
+
+    @pytest.mark.parametrize("method", ["GET", "POST"])
+    @pytest.mark.parametrize(
+        "path", ["/query", "/query_batch", "/healthz", "/stats"]
+    )
+    def test_unversioned_paths_redirect_to_v1(self, http_service, method, path):
+        base, _ = http_service
+        body = b'{"query": "a car"}' if method == "POST" else b""
+        raw = self._raw_request(
+            base,
+            (
+                f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode("ascii") + body,
+        )
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert b"308" in head.split(b"\r\n", 1)[0]
+        assert f"Location: /v1{path}".encode("ascii") in head
+        assert json.loads(payload)["redirect"] == f"/v1{path}"
 
     @pytest.mark.parametrize(
-        "path,payload,expected_status",
+        "path,payload,expected_status,expected_code",
         [
-            ("/query", {"nope": 1}, 400),
-            ("/query", {"query": 42}, 400),
-            ("/query", {"query": "car", "top_n": 0}, 400),
-            ("/query", {"query": "   "}, 400),
-            ("/query_batch", {"queries": "not a list"}, 400),
-            ("/unknown", {"query": "car"}, 404),
+            ("/v1/query", {"nope": 1}, 400, "invalid_query"),
+            ("/v1/query", {"query": 42}, 400, "invalid_query"),
+            ("/v1/query", {"query": "car", "top_n": 0}, 400, "invalid_query"),
+            ("/v1/query", {"query": "   "}, 400, "invalid_query"),
+            ("/v1/query", {"query": "car", "options": {"depth": 3}}, 400, "invalid_query"),
+            ("/v1/query", {"query": "car", "options": {"top_n": 3}, "top_n": 9},
+             400, "invalid_query"),
+            ("/v1/query_batch", {"queries": "not a list"}, 400, "bad_request"),
+            ("/v1/unknown", {"query": "car"}, 404, "not_found"),
         ],
     )
-    def test_bad_requests(self, http_service, path, payload, expected_status):
+    def test_bad_requests_use_error_envelope(
+        self, http_service, path, payload, expected_status, expected_code
+    ):
         base, _ = http_service
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             self._post(base, path, payload)
         assert excinfo.value.code == expected_status
+        envelope = json.load(excinfo.value)["error"]
+        assert envelope["code"] == expected_code
+        assert envelope["retryable"] is False
+        assert envelope["message"]
 
     @staticmethod
     def _raw_request(base: str, request_bytes: bytes) -> bytes:
@@ -638,7 +680,7 @@ class TestHTTPFrontend:
         # close the connection (an unread body would desync keep-alive).
         raw = self._raw_request(
             base,
-            b"POST /query HTTP/1.1\r\nHost: test\r\nContent-Length: 100000\r\n\r\n",
+            b"POST /v1/query HTTP/1.1\r\nHost: test\r\nContent-Length: 100000\r\n\r\n",
         )
         status_line = raw.split(b"\r\n", 1)[0]
         assert b"400" in status_line
@@ -648,7 +690,7 @@ class TestHTTPFrontend:
         base, _ = http_service
         raw = self._raw_request(
             base,
-            b"POST /query HTTP/1.1\r\nHost: test\r\nContent-Length: abc\r\n\r\n",
+            b"POST /v1/query HTTP/1.1\r\nHost: test\r\nContent-Length: abc\r\n\r\n",
         )
         status_line = raw.split(b"\r\n", 1)[0]
         assert b"400" in status_line
@@ -656,7 +698,7 @@ class TestHTTPFrontend:
     def test_malformed_json_is_400(self, http_service):
         base, _ = http_service
         request = urllib.request.Request(
-            base + "/query", data=b"{not json", headers={"Content-Type": "application/json"}
+            base + "/v1/query", data=b"{not json", headers={"Content-Type": "application/json"}
         )
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=30)
@@ -672,7 +714,7 @@ class TestHTTPFrontend:
         host, port = server.server_address[:2]
         try:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
-                self._post(f"http://{host}:{port}", "/query", {"query": "a car"})
+                self._post(f"http://{host}:{port}", "/v1/query", {"query": "a car"})
             assert excinfo.value.code == 503
         finally:
             server.shutdown()
@@ -687,10 +729,10 @@ class TestHTTPFrontend:
         base = f"http://{host}:{port}"
         try:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
-                self._post(base, "/query", {"query": "a car"})
+                self._post(base, "/v1/query", {"query": "a car"})
             assert excinfo.value.code == 503
             with pytest.raises(urllib.error.HTTPError) as excinfo:
-                self._get(base, "/healthz")
+                self._get(base, "/v1/healthz")
             assert excinfo.value.code == 503
         finally:
             server.shutdown()
