@@ -1,0 +1,175 @@
+"""Observability overhead: served throughput with tracing on vs off.
+
+Tracing promises to be cheap enough to leave on in production: every span is
+a contextvar read plus a lock-guarded append, recorded only on the request's
+own path.  This benchmark serves the same concurrent workload against two
+identically ingested sharded systems — one with :class:`~repro.config.ObsConfig`
+enabled (the default), one disabled — and compares queries/sec.
+
+Rounds are interleaved with the order flipped every round (off/on, on/off,
+...) so machine noise hits both configurations equally, and the sides are
+compared on aggregate throughput across all rounds — individual short rounds
+swing ±20% with scheduler noise, which the aggregate averages out.
+
+The acceptance gate: tracing-enabled throughput must stay within 5% of
+tracing-disabled throughput (``enabled >= 0.95 * disabled``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List
+
+from repro import LOVO, LOVOConfig, ObsConfig, ServeConfig
+from repro.config import IndexConfig, KeyframeConfig, QueryConfig, ShardConfig
+from repro.eval.reporting import format_table
+from repro.eval.workloads import queries_for_dataset
+from repro.serve import ServingEngine
+
+from conftest import BENCH_ENCODER, report
+
+NUM_CLIENTS = 8
+QUERIES_PER_CLIENT = 16
+ROUNDS_PER_SIDE = 3
+DATASET = "bellevue"
+NUM_VIDEOS = 1
+FRAMES_PER_VIDEO = 200
+#: The gate: tracing-enabled QPS must be at least this fraction of disabled.
+MIN_RELATIVE_QPS = 0.95
+
+SERVE_CONFIG = ServeConfig(
+    num_workers=2,
+    max_batch_size=NUM_CLIENTS * 2,
+    max_wait_ms=4.0,
+    queue_size=1024,
+    cache_size=0,  # measure the engine, not the cache
+)
+
+
+def _obs_lovo_config(enabled: bool) -> LOVOConfig:
+    """A sharded configuration (so tracing crosses the scatter fan-out)."""
+    return LOVOConfig(
+        encoder=BENCH_ENCODER,
+        keyframes=KeyframeConfig(strategy="mvmed", uniform_stride=10),
+        index=IndexConfig(index_type="flat"),
+        query=QueryConfig(),
+        shard=ShardConfig(num_shards=2),
+        obs=ObsConfig(enabled=enabled),
+    )
+
+
+def _tiled_queries(count: int) -> List[str]:
+    texts = [spec.text for spec in queries_for_dataset(DATASET)]
+    return (texts * (count // len(texts) + 1))[:count]
+
+
+def _served_qps(engine: ServingEngine) -> float:
+    """Queries/sec for one round of the concurrent client workload."""
+    client_texts = _tiled_queries(QUERIES_PER_CLIENT)
+    errors: List[BaseException] = []
+
+    def client(offset: int) -> None:
+        try:
+            rotation = client_texts[offset:] + client_texts[:offset]
+            for text in rotation:
+                engine.query(text, timeout=120.0)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client, args=(i % len(client_texts),))
+        for i in range(NUM_CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return (NUM_CLIENTS * QUERIES_PER_CLIENT) / elapsed
+
+
+def run_obs_overhead(bench_env) -> Dict[str, object]:
+    """Best-of-N interleaved served QPS, tracing disabled vs enabled."""
+    dataset = bench_env.dataset(DATASET, NUM_VIDEOS, FRAMES_PER_VIDEO)
+    systems = {}
+    for label, enabled in (("disabled", False), ("enabled", True)):
+        system = LOVO(_obs_lovo_config(enabled))
+        system.ingest(dataset)
+        systems[label] = system
+
+    rounds: Dict[str, List[float]] = {"disabled": [], "enabled": []}
+    engines = {
+        label: ServingEngine(system, SERVE_CONFIG).start()
+        for label, system in systems.items()
+    }
+    try:
+        # Warm one round per side (thread pools, allocator), then measure
+        # interleaved with the order flipped every round, so neither side
+        # systematically benefits from running first or last.
+        for label in ("disabled", "enabled"):
+            _served_qps(engines[label])
+        for round_index in range(ROUNDS_PER_SIDE):
+            order = ("disabled", "enabled") if round_index % 2 == 0 else (
+                "enabled", "disabled")
+            for label in order:
+                rounds[label].append(_served_qps(engines[label]))
+        traced = engines["enabled"].tracer.store.stats()
+    finally:
+        for engine in engines.values():
+            engine.stop()
+
+    # Aggregate (not best-of): total queries over total measured time per
+    # side, which is what the interleaving makes comparable.
+    aggregate = {
+        label: len(values) / sum(1.0 / qps for qps in values)
+        for label, values in rounds.items()
+    }
+    return {
+        "disabled_qps": aggregate["disabled"],
+        "enabled_qps": aggregate["enabled"],
+        "relative": aggregate["enabled"] / aggregate["disabled"],
+        "rounds_disabled": rounds["disabled"],
+        "rounds_enabled": rounds["enabled"],
+        "traces_stored": traced["stored"],
+    }
+
+
+def test_obs_overhead(benchmark, bench_env):
+    results = benchmark.pedantic(
+        run_obs_overhead, args=(bench_env,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            "disabled",
+            f"{results['disabled_qps']:.1f}",
+            ", ".join(f"{qps:.1f}" for qps in results["rounds_disabled"]),
+        ],
+        [
+            "enabled",
+            f"{results['enabled_qps']:.1f}",
+            ", ".join(f"{qps:.1f}" for qps in results["rounds_enabled"]),
+        ],
+    ]
+    table = format_table(
+        ["tracing", "aggregate (q/s)", "rounds (q/s)"],
+        rows,
+        title=(
+            f"Observability overhead ({NUM_CLIENTS} concurrent clients, sharded, "
+            f"relative {results['relative']:.3f}, "
+            f"{results['traces_stored']} traces stored)"
+        ),
+    )
+    report("obs_overhead", table)
+
+    # Acceptance gate: tracing must cost at most 5% served throughput.
+    assert results["relative"] >= MIN_RELATIVE_QPS, (
+        f"tracing-enabled throughput {results['enabled_qps']:.1f} q/s is below "
+        f"{MIN_RELATIVE_QPS:.2f}x of disabled {results['disabled_qps']:.1f} q/s"
+    )
+    # Sanity: the enabled side actually traced the workload.
+    assert results["traces_stored"] > 0

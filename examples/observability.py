@@ -1,0 +1,130 @@
+"""Observability end to end: request traces, the slow-query log, /v1/metrics.
+
+Walks the full observability surface on a sharded, replicated system:
+
+1. serve a few queries over the ``/v1`` HTTP API with an ``X-Request-ID``,
+   and read each response's ``trace_id`` (body + ``X-Trace-Id`` header);
+2. fetch one request's full trace from ``GET /v1/traces/<id>`` and print its
+   span tree — queue wait, encoding, the per-shard fan-out (which replica
+   answered), the global merge, and the rerank;
+3. show the slow-query log at ``GET /v1/traces/slow``;
+4. scrape ``GET /v1/metrics`` (Prometheus text exposition) and print a few
+   service- and shard-level series.
+
+Run with:  python examples/observability.py
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+from repro import LOVO, LOVOConfig, ObsConfig, ShardConfig
+from repro.obs import parse_exposition
+from repro.serve import ServingEngine
+from repro.serve.http import make_server
+from repro.video import make_bellevue
+
+QUERIES = [
+    "A red car driving in the center of the road",
+    "a person walking",
+    "a bus near a person",
+]
+
+
+def http_json(base: str, method: str, path: str, body: dict | None = None,
+              headers: dict | None = None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method, headers=headers or {}
+    )
+    with urllib.request.urlopen(request) as response:
+        return dict(response.headers), response.read()
+
+
+def print_span_tree(trace: dict) -> None:
+    spans = trace["spans"]
+    children: dict = {}
+    for span in spans:
+        children.setdefault(span["parent_id"], []).append(span)
+
+    def walk(parent_id, depth):
+        for span in children.get(parent_id, ()):
+            attrs = span["attributes"]
+            detail = f" ({attrs['replica']})" if "replica" in attrs else ""
+            print(f"    {'  ' * depth}{span['name']:<14} "
+                  f"{span['duration_ms']:7.2f} ms{detail}")
+            walk(span["span_id"], depth + 1)
+
+    print(f"  trace {trace['trace_id']}  total {trace['duration_ms']:.2f} ms  "
+          f"attributes {trace['attributes']}")
+    walk(None, 0)
+
+
+def main() -> None:
+    # A sharded + replicated system with an aggressive slow-query threshold,
+    # so the example's queries land in the slow log.
+    config = LOVOConfig(
+        shard=ShardConfig(num_shards=2, num_replicas=2),
+        obs=ObsConfig(slow_query_ms=1.0),
+    )
+    system = LOVO(config)
+    system.ingest(make_bellevue(num_videos=1, frames_per_video=150))
+
+    engine = ServingEngine(system).start()
+    server = make_server(engine, host="127.0.0.1", port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    print(f"Serving on {base}")
+
+    try:
+        # 1. Queries carry a trace id; X-Request-ID ties them to client logs.
+        trace_ids = []
+        for index, text in enumerate(QUERIES):
+            headers, body = http_json(
+                base, "POST", "/v1/query", {"query": text},
+                {"X-Request-ID": f"example-{index}"},
+            )
+            payload = json.loads(body)
+            assert headers["X-Trace-Id"] == payload["trace_id"]
+            trace_ids.append(payload["trace_id"])
+            print(f"  {text!r}: {payload['num_results']} results, "
+                  f"trace {payload['trace_id'][:12]}…")
+
+        # 2. One request's full story, across every thread it touched.
+        print("\nSpan tree of the first request:")
+        _, body = http_json(base, "GET", f"/v1/traces/{trace_ids[0]}")
+        print_span_tree(json.loads(body))
+
+        # 3. The slow-query log (threshold 1 ms, so everything qualifies).
+        _, body = http_json(base, "GET", "/v1/traces/slow")
+        slow = json.loads(body)
+        print(f"\nSlow-query log: {slow['num_traces']} trace(s) above "
+              f"{slow['slow_threshold_ms']} ms")
+
+        # 4. Prometheus metrics: one scrape covers the serving engine, the
+        #    result cache, and every shard replica.
+        _, body = http_json(base, "GET", "/v1/metrics")
+        metrics = parse_exposition(body.decode("utf-8"))
+        completed = metrics["lovo_requests_completed_total"]["samples"][0]["value"]
+        print(f"\n/v1/metrics: {len(metrics)} metric families")
+        print(f"  completed requests: {completed:.0f}")
+        for sample in metrics["lovo_shard_healthy_replicas"]["samples"]:
+            print(f"  shard {sample['labels']['shard']}: "
+                  f"{sample['value']:.0f} healthy replica(s)")
+        p95 = next(
+            sample["value"]
+            for sample in metrics["lovo_request_latency_seconds"]["samples"]
+            if sample["labels"].get("quantile") == "0.95"
+        )
+        print(f"  p95 latency: {p95 * 1000.0:.1f} ms")
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,10 @@ Public API overview
   top-k merging, and replica groups with automatic failover.  Enable it with
   ``LOVOConfig(shard=ShardConfig(num_shards=4))``; query results stay
   bit-identical to the single-shard database.
+* :mod:`repro.obs` — observability: per-request tracing across the serving →
+  shard → index stack, a unified metrics registry, and Prometheus text
+  exposition (served at ``GET /v1/metrics``).  Configured by
+  :class:`repro.ObsConfig`; on by default, near-free when disabled.
 """
 
 from repro.config import (
@@ -25,6 +29,7 @@ from repro.config import (
     IndexConfig,
     KeyframeConfig,
     LOVOConfig,
+    ObsConfig,
     QueryConfig,
     ServeConfig,
     ShardConfig,
@@ -78,6 +83,7 @@ __all__ = [
     "EncoderConfig",
     "KeyframeConfig",
     "IndexConfig",
+    "ObsConfig",
     "QueryConfig",
     "ServeConfig",
     "ShardConfig",

@@ -259,6 +259,44 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Configuration of the observability subsystem (:mod:`repro.obs`).
+
+    Attributes:
+        enabled: Master switch for request tracing.  When off, the serving
+            engine never creates traces and every instrumentation point
+            reduces to a no-op context-variable read, so the disabled
+            configuration costs effectively nothing on the query path.
+        trace_store_size: Maximum number of recent traces retained in the
+            bounded in-memory trace store (older traces are evicted FIFO).
+        slow_query_ms: End-to-end latency threshold above which a finished
+            trace is also pinned into the slow-query log.
+        slow_log_size: Maximum number of slow traces retained.  Slow traces
+            survive eviction from the main store, so a burst of fast queries
+            cannot wash out the evidence of a slow one.
+        max_spans_per_trace: Per-trace span budget; spans beyond it are
+            counted (``dropped_spans``) instead of stored, bounding memory
+            under pathological fan-out.
+    """
+
+    enabled: bool = True
+    trace_store_size: int = 512
+    slow_query_ms: float = 250.0
+    slow_log_size: int = 64
+    max_spans_per_trace: int = 512
+
+    def __post_init__(self) -> None:
+        if self.trace_store_size <= 0:
+            raise ConfigurationError("trace_store_size must be positive")
+        if self.slow_query_ms < 0:
+            raise ConfigurationError("slow_query_ms must be non-negative")
+        if self.slow_log_size <= 0:
+            raise ConfigurationError("slow_log_size must be positive")
+        if self.max_spans_per_trace <= 0:
+            raise ConfigurationError("max_spans_per_trace must be positive")
+
+
+@dataclass(frozen=True)
 class LOVOConfig:
     """Top-level configuration bundling every subsystem."""
 
@@ -268,6 +306,7 @@ class LOVOConfig:
     query: QueryConfig = field(default_factory=QueryConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
     shard: ShardConfig = field(default_factory=ShardConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def with_overrides(
         self,
@@ -277,6 +316,7 @@ class LOVOConfig:
         query: QueryConfig | None = None,
         serve: ServeConfig | None = None,
         shard: ShardConfig | None = None,
+        obs: ObsConfig | None = None,
     ) -> "LOVOConfig":
         """Return a copy with selected sub-configurations replaced."""
         return LOVOConfig(
@@ -286,6 +326,7 @@ class LOVOConfig:
             query=query or self.query,
             serve=serve or self.serve,
             shard=shard or self.shard,
+            obs=obs or self.obs,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -310,11 +351,12 @@ class LOVOConfig:
             "keyframes": KeyframeConfig,
             "index": IndexConfig,
             "query": QueryConfig,
-            # Snapshots written before the serving or sharding subsystems
-            # carry no "serve"/"shard" section; ``payload.get`` below falls
-            # back to the defaults.
+            # Snapshots written before the serving, sharding, or
+            # observability subsystems carry no "serve"/"shard"/"obs"
+            # section; ``payload.get`` below falls back to the defaults.
             "serve": ServeConfig,
             "shard": ShardConfig,
+            "obs": ObsConfig,
         }
         unknown = set(payload) - set(sections)
         if unknown:

@@ -30,6 +30,7 @@ from repro.encoders.cross_modal import (
 )
 from repro.encoders.text import ParsedQuery, TextEncoder
 from repro.errors import QueryError
+from repro.obs.trace import span as obs_span
 from repro.utils.timing import PhaseTimer
 from repro.vectordb.collection import SearchHit
 from repro.video.model import Frame
@@ -266,7 +267,9 @@ class QueryStrategy:
             candidate_frames, patch_hits = self._fast_search(parsed, fast_k)
 
         if self._config.rerank_enabled and candidate_frames:
-            with timer.phase("rerank"):
+            with timer.phase("rerank"), obs_span(
+                "rerank", num_candidates=len(candidate_frames)
+            ):
                 results = self._rerank(parsed, candidate_frames, top_n)
         else:
             results = self._results_from_fast_search(patch_hits, top_n)
@@ -313,10 +316,12 @@ class QueryStrategy:
         unique = list(dict.fromkeys(parsed_list))
 
         with timer.phase("fast_search"):
-            query_matrix = self._text_encoder.encode_batch(unique)
-            hit_lists = self._storage.search_batch(
-                query_matrix, fast_k, use_ann=self._config.ann_enabled
-            )
+            with obs_span("encode", num_queries=len(unique)):
+                query_matrix = self._text_encoder.encode_batch(unique)
+            with obs_span("fast_search", k=fast_k, ann=self._config.ann_enabled):
+                hit_lists = self._storage.search_batch(
+                    query_matrix, fast_k, use_ann=self._config.ann_enabled
+                )
             grouped = {
                 parsed: self._group_hits(hits)
                 for parsed, hits in zip(unique, hit_lists)
@@ -325,7 +330,7 @@ class QueryStrategy:
         results_by_query: Dict[ParsedQuery, List[ObjectQueryResult]] = {}
         union: Dict[str, None] = {}
         if self._config.rerank_enabled:
-            with timer.phase("rerank"):
+            with timer.phase("rerank"), obs_span("rerank"):
                 for candidate_frames, _ in grouped.values():
                     for frame_id in candidate_frames:
                         union.setdefault(frame_id, None)
@@ -382,10 +387,12 @@ class QueryStrategy:
         self, parsed: ParsedQuery, fast_k: int
     ) -> Tuple[List[str], List[Tuple[str, float]]]:
         """Stage 1: ANN top-k patches, grouped into candidate frames."""
-        query_vector = self._text_encoder.encode(parsed)
-        hits = self._storage.search(
-            query_vector, fast_k, use_ann=self._config.ann_enabled
-        )
+        with obs_span("encode", num_queries=1):
+            query_vector = self._text_encoder.encode(parsed)
+        with obs_span("fast_search", k=fast_k, ann=self._config.ann_enabled):
+            hits = self._storage.search(
+                query_vector, fast_k, use_ann=self._config.ann_enabled
+            )
         return self._group_hits(hits)
 
     def _group_hits(

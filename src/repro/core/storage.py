@@ -95,10 +95,16 @@ class LOVOStorage:
         return isinstance(self._database, ShardedDatabase)
 
     def backend_status(self) -> Dict[str, object]:
-        """Backend topology for health/stats endpoints and manifests."""
+        """Backend topology for health/stats endpoints and manifests.
+
+        Always carries a ``"health"`` key: ``"ok"`` / ``"degraded"`` (some
+        replicas down, every shard still answerable) / ``"unavailable"``
+        (at least one shard has no healthy replica).  The unsharded backend
+        has no replica topology and is always ``"ok"``.
+        """
         if isinstance(self._database, ShardedDatabase):
             return {"sharded": True, **self._database.status()}
-        return {"sharded": False, "num_shards": 1}
+        return {"sharded": False, "num_shards": 1, "health": "ok"}
 
     @property
     def metadata(self) -> MetadataStore:

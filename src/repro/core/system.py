@@ -33,6 +33,7 @@ from repro.core.summary import SummaryOutput, VideoSummarizer
 from repro.encoders.cross_modal import CrossModalityReranker, RerankerConfig
 from repro.encoders.text import TextEncoder
 from repro.errors import PersistenceError, SnapshotCorruptionError, SystemNotReadyError
+from repro.obs.trace import Tracer
 from repro.persist.manifest import SnapshotManifest
 from repro.persist.snapshot import load_system, save_system
 from repro.utils.timing import PhaseTimer
@@ -72,6 +73,7 @@ class LOVO:
         self._frame_registry: Dict[str, Frame] = {}
         self._frame_scene: Dict[str, str] = {}
         self._timer = PhaseTimer()
+        self._tracer = Tracer(self._config.obs)
         self._summary: Optional[SummaryOutput] = None
         self._datasets: List[str] = []
         self._ingest_lock = threading.Lock()
@@ -85,6 +87,16 @@ class LOVO:
     def timer(self) -> PhaseTimer:
         """Accumulated phase timings (processing, indexing, fast search, rerank)."""
         return self._timer
+
+    @property
+    def tracer(self) -> Tracer:
+        """The system's request tracer (shared with the serving engine).
+
+        Owning the tracer here — rather than in the engine — keeps one trace
+        store per system, so every frontend over the same data (an engine,
+        direct ``query_batch`` callers) lands its traces in one place.
+        """
+        return self._tracer
 
     @property
     def summarizer(self) -> VideoSummarizer:

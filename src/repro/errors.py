@@ -181,20 +181,25 @@ class ServiceOverloadedError(ServingError):
     retryable = True
 
 
-def error_envelope(error: BaseException) -> Dict[str, object]:
+def error_envelope(
+    error: BaseException, request_id: str | None = None
+) -> Dict[str, object]:
     """The v1 JSON error envelope for any exception.
 
     Library errors contribute their ``code``/``retryable`` attributes;
-    anything else is reported as a non-retryable ``internal_error``.
+    anything else is reported as a non-retryable ``internal_error``.  When
+    the serving frontend knows the request's ``X-Request-ID`` it is included
+    for log correlation.
     """
     if isinstance(error, ReproError):
         code, retryable = error.code, error.retryable
     else:
         code, retryable = "internal_error", False
-    return {
-        "error": {
-            "code": code,
-            "message": str(error) or type(error).__name__,
-            "retryable": bool(retryable),
-        }
+    body: Dict[str, object] = {
+        "code": code,
+        "message": str(error) or type(error).__name__,
+        "retryable": bool(retryable),
     }
+    if request_id is not None:
+        body["request_id"] = request_id
+    return {"error": body}

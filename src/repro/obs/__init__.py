@@ -1,0 +1,79 @@
+"""Cross-cutting observability: request tracing, metrics, and exposition.
+
+Three pieces, used together by the serving → shard → index stack:
+
+* :mod:`repro.obs.trace` — ``Trace``/``Span`` with contextvar propagation,
+  so one served query accumulates spans across the HTTP handler, the
+  micro-batcher (queue wait), the engine worker, the shard scatter (one span
+  per shard call, annotated with the serving replica and any failover), and
+  the rerank stage; finished traces land in a bounded store with a
+  slow-query log.
+* :mod:`repro.obs.registry` — labelled counters / gauges / histograms in a
+  unified, thread-safe registry, plus the shared ceil-based nearest-rank
+  :func:`~repro.obs.registry.percentile`.
+* :mod:`repro.obs.exposition` — Prometheus text rendering (``GET
+  /v1/metrics``) and the mapping from engine stats and ingest phase totals
+  to metric families.
+
+Tracing is on by default and disabled via ``LOVOConfig(obs=ObsConfig(
+enabled=False))``; when off, every instrumentation point is a no-op
+context-variable read.
+"""
+
+from repro.config import ObsConfig
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    parse_exposition,
+    render,
+    service_families,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    REGISTRY,
+    Sample,
+    percentile,
+)
+from repro.obs.trace import (
+    Span,
+    SpanHandle,
+    Trace,
+    TraceStore,
+    Tracer,
+    activate,
+    active_traces,
+    record_span,
+    span,
+    tracing_active,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Span",
+    "SpanHandle",
+    "Trace",
+    "TraceStore",
+    "Tracer",
+    "activate",
+    "active_traces",
+    "record_span",
+    "span",
+    "tracing_active",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Sample",
+    "percentile",
+    "DEFAULT_BUCKETS",
+    "CONTENT_TYPE",
+    "render",
+    "service_families",
+    "parse_exposition",
+]

@@ -1,0 +1,351 @@
+"""Prometheus text exposition (format 0.0.4) over metric families.
+
+Two halves:
+
+* :func:`render` — serialise any list of :class:`~repro.obs.registry.
+  MetricFamily` into the Prometheus text format (``# HELP``/``# TYPE``
+  headers, escaped label values, ``_bucket``/``_sum``/``_count`` histogram
+  series, summary quantiles);
+* :func:`service_families` — map the serving engine's ``stats()`` snapshot
+  (requests, latency percentiles, micro-batch histogram, cache, backend
+  health) and the system's ingest :class:`~repro.utils.timing.PhaseTimer`
+  totals into families, so the whole stack surfaces through one
+  ``GET /v1/metrics`` scrape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.registry import MetricFamily, Sample, format_float
+
+#: The content type of the rendered exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Health states mapped to ``lovo_backend_health{state=...}`` one-hot gauges.
+HEALTH_STATES = ("ok", "degraded", "unavailable", "not_ready")
+
+
+def escape_help(text: str) -> str:
+    r"""Escape a help string (``\`` and newlines)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def escape_label_value(value: str) -> str:
+    r"""Escape a label value (``\``, ``"`` and newlines)."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_sample(sample: Sample) -> str:
+    if sample.labels:
+        body = ",".join(
+            f'{name}="{escape_label_value(str(value))}"'
+            for name, value in sample.labels.items()
+        )
+        return f"{sample.name}{{{body}}} {format_float(sample.value)}"
+    return f"{sample.name} {format_float(sample.value)}"
+
+
+def render(families: Iterable[MetricFamily]) -> str:
+    """Serialise metric families into Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples:
+            lines.append(_render_sample(sample))
+    return "\n".join(lines) + "\n"
+
+
+def _counter(name: str, help: str, value: float) -> MetricFamily:
+    return MetricFamily(name, "counter", help, [Sample(name, {}, float(value))])
+
+
+def _gauge(name: str, help: str, value: float) -> MetricFamily:
+    return MetricFamily(name, "gauge", help, [Sample(name, {}, float(value))])
+
+
+def service_families(
+    stats: Mapping[str, object],
+    phase_totals: Optional[Mapping[str, float]] = None,
+) -> List[MetricFamily]:
+    """Metric families derived from one engine ``stats()`` snapshot.
+
+    Everything is re-derived per scrape from the snapshot (the single source
+    of truth), so no second set of counters can drift from ``/v1/stats``.
+    """
+    families: List[MetricFamily] = [
+        _counter(
+            "lovo_requests_total", "Query submissions admitted or rejected.",
+            stats.get("requests_total", 0),
+        ),
+        _counter(
+            "lovo_requests_completed_total", "Queries answered successfully.",
+            stats.get("completed_total", 0),
+        ),
+        _counter(
+            "lovo_requests_rejected_total",
+            "Submissions rejected by admission control (backpressure).",
+            stats.get("rejected_total", 0),
+        ),
+        _counter(
+            "lovo_request_errors_total", "Queries that failed with an engine error.",
+            stats.get("errors_total", 0),
+        ),
+        _gauge("lovo_uptime_seconds", "Engine uptime.", stats.get("uptime_seconds", 0.0)),
+        _gauge("lovo_qps", "Completed queries per second since start.", stats.get("qps", 0.0)),
+        _gauge(
+            "lovo_queue_depth", "Admitted queries waiting for a micro-batch.",
+            stats.get("queue_depth", 0),
+        ),
+        _gauge(
+            "lovo_queue_capacity", "Admission queue capacity.",
+            stats.get("queue_capacity", 0),
+        ),
+        _gauge("lovo_workers", "Worker threads serving batches.", stats.get("num_workers", 0)),
+    ]
+
+    latency = stats.get("latency_ms")
+    if isinstance(latency, Mapping):
+        name = "lovo_request_latency_seconds"
+        samples = [
+            Sample(name, {"quantile": quantile}, float(latency.get(key, 0.0)) / 1000.0)
+            for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+        ]
+        samples.append(
+            Sample(f"{name}_sum", {}, float(stats.get("latency_seconds_sum", 0.0)))
+        )
+        samples.append(Sample(f"{name}_count", {}, float(stats.get("completed_total", 0))))
+        families.append(
+            MetricFamily(
+                name,
+                "summary",
+                "End-to-end request latency (windowed quantiles).",
+                samples,
+            )
+        )
+
+    batches = stats.get("batches")
+    if isinstance(batches, Mapping):
+        histogram = batches.get("histogram")
+        name = "lovo_microbatch_size"
+        samples: List[Sample] = []
+        if isinstance(histogram, Mapping) and histogram:
+            # The stats histogram is exact (count per observed batch size), so
+            # the cumulative buckets can use the observed sizes themselves.
+            cumulative = 0
+            total_queries = 0.0
+            for size, count in sorted(
+                ((int(size), int(count)) for size, count in histogram.items())
+            ):
+                cumulative += count
+                total_queries += size * count
+                samples.append(
+                    Sample(f"{name}_bucket", {"le": format_float(float(size))}, float(cumulative))
+                )
+            samples.append(Sample(f"{name}_bucket", {"le": "+Inf"}, float(cumulative)))
+            samples.append(Sample(f"{name}_sum", {}, total_queries))
+            samples.append(Sample(f"{name}_count", {}, float(cumulative)))
+        else:
+            samples.append(Sample(f"{name}_bucket", {"le": "+Inf"}, 0.0))
+            samples.append(Sample(f"{name}_sum", {}, 0.0))
+            samples.append(Sample(f"{name}_count", {}, 0.0))
+        families.append(
+            MetricFamily(
+                name, "histogram", "Queries coalesced per executed micro-batch.", samples
+            )
+        )
+
+    cache = stats.get("cache")
+    if isinstance(cache, Mapping):
+        enabled = bool(cache.get("enabled", False))
+        families.append(
+            _gauge("lovo_cache_enabled", "Whether the result cache is enabled.", float(enabled))
+        )
+        if enabled:
+            families.extend(
+                [
+                    _counter("lovo_cache_hits_total", "Result-cache hits.", cache.get("hits", 0)),
+                    _counter(
+                        "lovo_cache_misses_total", "Result-cache misses.", cache.get("misses", 0)
+                    ),
+                    _counter(
+                        "lovo_cache_expirations_total",
+                        "Result-cache hits lost to TTL expiry.",
+                        cache.get("expirations", 0),
+                    ),
+                    _gauge("lovo_cache_size", "Live result-cache entries.", cache.get("size", 0)),
+                    _gauge(
+                        "lovo_cache_hit_rate", "Result-cache hit rate.", cache.get("hit_rate", 0.0)
+                    ),
+                ]
+            )
+
+    backend = stats.get("backend")
+    if isinstance(backend, Mapping):
+        health = str(stats.get("health", backend.get("health", "ok")))
+        families.append(
+            MetricFamily(
+                "lovo_backend_health",
+                "gauge",
+                "Backend health state (one-hot over states).",
+                [
+                    Sample(
+                        "lovo_backend_health",
+                        {"state": state},
+                        1.0 if state == health else 0.0,
+                    )
+                    for state in HEALTH_STATES
+                ],
+            )
+        )
+        shards = backend.get("shards")
+        if isinstance(shards, list):
+            replica_samples: List[Sample] = []
+            healthy_samples: List[Sample] = []
+            entity_samples: List[Sample] = []
+            for entry in shards:
+                if not isinstance(entry, Mapping):
+                    continue
+                shard = str(entry.get("shard", ""))
+                replica_samples.append(
+                    Sample(
+                        "lovo_shard_replicas", {"shard": shard}, float(entry.get("replicas", 0))
+                    )
+                )
+                healthy_samples.append(
+                    Sample(
+                        "lovo_shard_healthy_replicas",
+                        {"shard": shard},
+                        float(entry.get("healthy_replicas", 0)),
+                    )
+                )
+                entity_samples.append(
+                    Sample(
+                        "lovo_shard_entities", {"shard": shard}, float(entry.get("entities", 0))
+                    )
+                )
+            families.extend(
+                [
+                    MetricFamily(
+                        "lovo_shard_replicas", "gauge", "Registered replicas per shard.",
+                        replica_samples,
+                    ),
+                    MetricFamily(
+                        "lovo_shard_healthy_replicas", "gauge", "Healthy replicas per shard.",
+                        healthy_samples,
+                    ),
+                    MetricFamily(
+                        "lovo_shard_entities", "gauge", "Stored entities per shard.",
+                        entity_samples,
+                    ),
+                ]
+            )
+
+    traces = stats.get("traces")
+    if isinstance(traces, Mapping):
+        families.append(
+            _gauge(
+                "lovo_traces_stored", "Traces retained in the in-memory store.",
+                traces.get("stored", 0),
+            )
+        )
+        families.append(
+            _gauge(
+                "lovo_traces_slow", "Traces retained in the slow-query log.",
+                traces.get("slow", 0),
+            )
+        )
+
+    if phase_totals:
+        families.append(
+            MetricFamily(
+                "lovo_phase_seconds_total",
+                "counter",
+                "Accumulated wall-clock seconds per pipeline phase.",
+                [
+                    Sample("lovo_phase_seconds_total", {"phase": phase}, float(seconds))
+                    for phase, seconds in sorted(phase_totals.items())
+                ],
+            )
+        )
+    return families
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse rendered exposition back into ``{name: {"type", "samples"}}``.
+
+    A deliberately small parser used by the round-trip tests and example —
+    it understands exactly what :func:`render` emits (one metric per line,
+    quoted label values with ``\\``/``\\"``/``\\n`` escapes).
+    """
+    metrics: Dict[str, Dict[str, object]] = {}
+
+    def _entry(name: str) -> Dict[str, object]:
+        return metrics.setdefault(name, {"type": None, "help": None, "samples": []})
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            _entry(name)["type"] = kind.strip()
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            _entry(name)["help"] = help_text
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample_line(line)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in metrics:
+                family = name[: -len(suffix)]
+                break
+        _entry(family)["samples"].append(  # type: ignore[union-attr]
+            {"name": name, "labels": labels, "value": value}
+        )
+    return metrics
+
+
+def _parse_sample_line(line: str):
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        body, _, value_part = rest.rpartition("} ")
+        labels: Dict[str, str] = {}
+        position = 0
+        while position < len(body):
+            equals = body.index("=", position)
+            label_name = body[position:equals]
+            if body[equals + 1] != '"':
+                raise ValueError(f"Malformed label in {line!r}")
+            cursor = equals + 2
+            chunks: List[str] = []
+            while body[cursor] != '"':
+                if body[cursor] == "\\":
+                    escape = body[cursor + 1]
+                    chunks.append({"n": "\n", '"': '"', "\\": "\\"}[escape])
+                    cursor += 2
+                else:
+                    chunks.append(body[cursor])
+                    cursor += 1
+            labels[label_name] = "".join(chunks)
+            position = cursor + 1
+            if position < len(body) and body[position] == ",":
+                position += 1
+    else:
+        name, _, value_part = line.partition(" ")
+        labels = {}
+    value_text = value_part.strip()
+    if value_text == "+Inf":
+        value = float("inf")
+    elif value_text == "-Inf":
+        value = float("-inf")
+    else:
+        value = float(value_text)
+    return name, labels, value

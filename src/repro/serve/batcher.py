@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from repro.core.query import QueryOptions
 from repro.errors import ServiceOverloadedError, ServingError
+from repro.obs.trace import Trace
 
 
 @dataclass
@@ -43,6 +44,10 @@ class PendingQuery:
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
     options: Optional[QueryOptions] = None
+    #: The request's trace (``None`` when tracing is disabled).  It rides
+    #: along through the queue so the worker that picks the batch up can
+    #: record the queue-wait span and fan engine spans into it.
+    trace: Optional["Trace"] = None
 
     def effective_options(self) -> QueryOptions:
         """The canonical options of this query (legacy ``top_n`` folded in)."""

@@ -37,6 +37,9 @@ from repro.errors import (
     ServingError,
     SystemNotReadyError,
 )
+from repro.obs.exposition import service_families
+from repro.obs.registry import REGISTRY, MetricFamily, MetricsRegistry
+from repro.obs.trace import Tracer, activate
 from repro.serve.batcher import MicroBatcher, PendingQuery
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import ServiceMetrics
@@ -60,6 +63,16 @@ class ServingEngine:
                 ttl_seconds=self._config.cache_ttl_seconds,
             )
         self._metrics = ServiceMetrics(latency_window=self._config.metrics_window)
+        # Share the system's tracer when it has one (one trace store per
+        # system), else build our own from the system's obs configuration;
+        # duck-typed stand-in systems without either get a default Tracer.
+        tracer = getattr(system, "tracer", None)
+        if not isinstance(tracer, Tracer):
+            obs_config = getattr(getattr(system, "config", None), "obs", None)
+            tracer = Tracer(obs_config)
+        self._tracer = tracer
+        self._registry = MetricsRegistry()
+        self._registry.register_collector(self._collect_service_families)
         self._workers: List[threading.Thread] = []
         self._lifecycle_lock = threading.Lock()
         self._running = False
@@ -90,6 +103,32 @@ class ServingEngine:
     def metrics(self) -> ServiceMetrics:
         """The live service metrics."""
         return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """The request tracer (and its bounded trace store)."""
+        return self._tracer
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """This engine's metrics registry (service families via collector)."""
+        return self._registry
+
+    def _collect_service_families(self) -> List[MetricFamily]:
+        phase_totals = None
+        timer = getattr(self._system, "timer", None)
+        if timer is not None and hasattr(timer, "as_dict"):
+            phase_totals = timer.as_dict()
+        return service_families(self.stats(), phase_totals)
+
+    def metric_families(self) -> List[MetricFamily]:
+        """Everything ``GET /v1/metrics`` exposes in one snapshot.
+
+        Merges this engine's registry (service metrics, cache, backend
+        health, ingest phase totals) with the module-level registry the
+        shard router records its per-replica call metrics into.
+        """
+        return self._registry.collect() + REGISTRY.collect()
 
     @property
     def running(self) -> bool:
@@ -183,6 +222,7 @@ class ServingEngine:
         self._metrics.record_request()
 
         started = time.perf_counter()
+        trace = self._tracer.start(query=text)
         if self._cache is not None:
             # Hit/miss accounting lives in the cache itself (the single
             # source of truth surfaced by stats()).
@@ -190,7 +230,15 @@ class ServingEngine:
                 text, coerced.options, self._system.config.query
             )
             if cached is not None:
-                self._metrics.record_completion(time.perf_counter() - started)
+                now = time.perf_counter()
+                self._metrics.record_completion(now - started)
+                if trace is not None:
+                    trace.record("cache_lookup", started, now, hit=True)
+                    # Overwrite the (stale) trace id the producing request
+                    # stamped into the cached entry.
+                    cached.metadata["trace_id"] = self._tracer.finish(
+                        trace, cache_hit=True
+                    )
                 future: "Future[QueryResponse]" = Future()
                 future.set_result(cached)
                 return future
@@ -200,6 +248,7 @@ class ServingEngine:
             top_n=coerced.options.top_n,
             enqueued_at=started,
             options=coerced.options,
+            trace=trace,
         )
         try:
             self._batcher.submit(pending)
@@ -207,6 +256,10 @@ class ServingEngine:
             # Only genuine backpressure counts as a rejection; a closed
             # batcher (shutdown race) propagates as a plain ServingError.
             self._metrics.record_rejection()
+            self._tracer.finish(trace, outcome="rejected")
+            raise
+        except ServingError:
+            self._tracer.finish(trace, outcome="closed")
             raise
         return pending.future
 
@@ -274,7 +327,15 @@ class ServingEngine:
         snapshot["max_batch_size"] = self._config.max_batch_size
         snapshot["max_wait_ms"] = self._config.max_wait_ms
         snapshot["queue_capacity"] = self._config.queue_size
-        snapshot["backend"] = self._backend_status()
+        backend = self._backend_status()
+        snapshot["backend"] = backend
+        # Overall health: the backend's replica-topology classification
+        # ("ok" / "degraded" / "unavailable"), or "not_ready" before data.
+        snapshot["health"] = (
+            str(backend.get("health", "ok")) if backend.get("ready") else "not_ready"
+        )
+        if self._tracer.enabled:
+            snapshot["traces"] = self._tracer.store.stats()
         if self._cache is not None:
             cache_stats = self._cache.stats()
             lookups = cache_stats["hits"] + cache_stats["misses"]
@@ -311,6 +372,15 @@ class ServingEngine:
         ]
         if not live:
             return
+        # The queue-wait span: admission (stamped by the submitting thread)
+        # to batch pickup, recorded here because only the worker knows when
+        # the wait ended.
+        picked_up = time.perf_counter()
+        for pending in live:
+            if pending.trace is not None:
+                pending.trace.record(
+                    "queue_wait", pending.enqueued_at, picked_up, batch_size=len(live)
+                )
         # ``query_batch`` answers the whole batch under one QueryOptions, so
         # group by it; almost every real batch is a single group.
         groups: Dict[QueryOptions, List[PendingQuery]] = {}
@@ -323,19 +393,30 @@ class ServingEngine:
         # One histogram entry per actual engine pass (a coalesced batch with
         # mixed options executes as several passes).
         self._metrics.record_batch(len(group))
+        # The engine pass is shared work: activating every member's trace
+        # fans each span the pass records (encode, fast_search, per-shard
+        # search, merge, rerank) out into all of them.
+        traces = [pending.trace for pending in group if pending.trace is not None]
         try:
-            responses = self._system.query_batch(
-                [pending.text for pending in group], options=options
-            ).responses
+            with activate(traces):
+                responses = self._system.query_batch(
+                    [pending.text for pending in group], options=options
+                ).responses
         except BaseException as error:  # noqa: BLE001 - forwarded to callers
             for pending in group:
                 self._metrics.record_error()
+                self._tracer.finish(
+                    pending.trace, outcome="error", error=type(error).__name__
+                )
                 pending.future.set_exception(error)
             return
         now = time.perf_counter()
         query_config = self._system.config.query
         for pending, response in zip(group, responses):
+            if pending.trace is not None:
+                response.metadata["trace_id"] = pending.trace.trace_id
             if self._cache is not None:
                 self._cache.put_for(pending.text, options, query_config, response)
             self._metrics.record_completion(now - pending.enqueued_at)
+            self._tracer.finish(pending.trace)
             pending.future.set_result(response)

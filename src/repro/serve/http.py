@@ -14,8 +14,25 @@ Endpoints (all under ``/v1``):
   (legacy top-level ``"top_n"`` accepted).
 * ``GET /v1/healthz`` — liveness/readiness (503 until data is ingested or
   loaded); includes backend topology (shard and replica health) when the
-  system runs on the sharded scatter-gather database.
+  system runs on the sharded scatter-gather database.  A backend with some
+  replicas down but every shard still answerable reports ``"degraded"``
+  (still 200); a shard with no healthy replica reports ``"unavailable"``
+  (503).
 * ``GET /v1/stats`` — the engine's full metrics snapshot.
+* ``GET /v1/metrics`` — the unified metrics registry in Prometheus text
+  exposition format (service counters, latency summary, micro-batch
+  histogram, cache, per-shard replica health, shard call latencies, ingest
+  phase totals).
+* ``GET /v1/traces/<id>`` — one stored request trace (spans across queue
+  wait, encode, per-shard search, merge, rerank).
+* ``GET /v1/traces/slow`` — the slow-query log (full traces above the
+  configured latency threshold).
+
+Request correlation: every endpoint accepts an ``X-Request-ID`` header (one
+is generated when absent), echoes it on the response, includes it in the
+error envelope, and attaches it to the request's stored trace.  Query
+responses carry the request's ``trace_id`` in the JSON body and the
+``X-Trace-Id`` header.
 
 The unversioned paths (``/query``, ``/query_batch``, ``/healthz``,
 ``/stats``) answer **308 Permanent Redirect** to their ``/v1`` equivalents
@@ -36,6 +53,7 @@ not-ready systems, shard unavailability, and an engine that is not running
 from __future__ import annotations
 
 import json
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from concurrent.futures import CancelledError as FutureCancelledError
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -51,11 +69,17 @@ from repro.errors import (
     SystemNotReadyError,
     error_envelope,
 )
+from repro.obs.exposition import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.obs.exposition import render
 from repro.serve.engine import ServingEngine
 
 #: Request bodies above this size are rejected outright (64 KiB is orders of
 #: magnitude beyond any real query batch and bounds handler memory).
 MAX_BODY_BYTES = 64 * 1024
+
+#: Client-supplied ``X-Request-ID`` values longer than this are replaced with
+#: a generated id (bounds log lines and trace attributes).
+MAX_REQUEST_ID_CHARS = 128
 
 #: Current (and only) API version prefix.
 API_PREFIX = "/v1"
@@ -74,6 +98,7 @@ def response_payload(response: QueryResponse) -> Dict[str, object]:
     return {
         "query": response.query,
         "cache_hit": bool(response.metadata.get("cache_hit", False)),
+        "trace_id": response.metadata.get("trace_id"),
         "num_results": len(response.results),
         "results": [result.as_dict() for result in response.results],
         "timings": dict(response.timings),
@@ -86,19 +111,31 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
     server: "LOVOHTTPServer"
     protocol_version = "HTTP/1.1"
 
+    #: Correlation id of the request being handled (set at routing time).
+    _request_id: Optional[str] = None
+
     # -- routing -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._request_id = self._resolve_request_id()
         if self.path == f"{API_PREFIX}/healthz":
             self._handle_healthz()
         elif self.path == f"{API_PREFIX}/stats":
             self._send_json(200, self.server.engine.stats())
+        elif self.path == f"{API_PREFIX}/metrics":
+            self._guarded(self._handle_metrics)
+        elif self.path == f"{API_PREFIX}/traces/slow":
+            self._guarded(self._handle_slow_traces)
+        elif self.path.startswith(f"{API_PREFIX}/traces/"):
+            trace_id = self.path[len(f"{API_PREFIX}/traces/"):]
+            self._guarded(lambda: self._handle_trace(trace_id))
         elif self.path in LEGACY_REDIRECTS:
             self._send_redirect(LEGACY_REDIRECTS[self.path])
         else:
             self._send_error(404, "not_found", f"Unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._request_id = self._resolve_request_id()
         if self.path == f"{API_PREFIX}/query":
             self._guarded(self._handle_query)
         elif self.path == f"{API_PREFIX}/query_batch":
@@ -107,6 +144,13 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
             self._send_redirect(LEGACY_REDIRECTS[self.path])
         else:
             self._send_error(404, "not_found", f"Unknown path {self.path!r}")
+
+    def _resolve_request_id(self) -> str:
+        """The caller's ``X-Request-ID`` (when sane), else a generated one."""
+        supplied = (self.headers.get("X-Request-ID") or "").strip()
+        if supplied and len(supplied) <= MAX_REQUEST_ID_CHARS and supplied.isprintable():
+            return supplied
+        return uuid.uuid4().hex
 
     # -- endpoint bodies ---------------------------------------------------
 
@@ -122,16 +166,23 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
                 },
             )
             return
+        backend = system.storage.backend_status()
+        health = str(backend.get("health", "ok"))
+        # "degraded" (some replicas down, every shard still answerable) is
+        # alive-but-wounded: still 200 so load balancers keep routing, with
+        # the distinct status for operators.  "unavailable" (a shard with no
+        # healthy replica) would fail queries, so it is a 503.
+        status = 503 if health == "unavailable" else 200
         self._send_json(
-            200,
+            status,
             {
-                "status": "ok",
+                "status": health,
                 "api_version": "v1",
                 "num_entities": system.num_entities,
                 "num_keyframes": system.num_keyframes,
                 "datasets": system.ingested_datasets,
                 "index_type": system.storage.index_type,
-                "backend": system.storage.backend_status(),
+                "backend": backend,
             },
         )
 
@@ -139,7 +190,9 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
         body = self._read_json_body()
         request = QueryRequest.from_dict(body)
         response = self.server.engine.query(request)
-        self._send_json(200, response_payload(response))
+        trace_id = self._annotate_trace(response, "/v1/query")
+        headers = {"X-Trace-Id": trace_id} if trace_id else None
+        self._send_json(200, response_payload(response), headers=headers)
 
     def _handle_query_batch(self) -> None:
         body = self._read_json_body()
@@ -157,6 +210,8 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
             for text in texts
         ]
         responses = self.server.engine.query_many(requests)
+        for response in responses:
+            self._annotate_trace(response, "/v1/query_batch")
         self._send_json(
             200,
             {
@@ -164,6 +219,49 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
                 "responses": [response_payload(response) for response in responses],
             },
         )
+
+    def _handle_metrics(self) -> None:
+        text = render(self.server.engine.metric_families())
+        encoded = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", METRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(encoded)))
+        if self._request_id:
+            self.send_header("X-Request-ID", self._request_id)
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _handle_trace(self, trace_id: str) -> None:
+        tracer = self.server.engine.tracer
+        trace = tracer.store.get(trace_id) if trace_id else None
+        if trace is None:
+            self._send_error(
+                404, "trace_not_found", f"No stored trace with id {trace_id!r}"
+            )
+            return
+        self._send_json(200, trace.as_dict())
+
+    def _handle_slow_traces(self) -> None:
+        tracer = self.server.engine.tracer
+        slow = tracer.store.slow()
+        self._send_json(
+            200,
+            {
+                "slow_threshold_ms": tracer.store.slow_threshold_ms,
+                "num_traces": len(slow),
+                "traces": [trace.as_dict() for trace in slow],
+            },
+        )
+
+    def _annotate_trace(self, response: QueryResponse, endpoint: str) -> Optional[str]:
+        """Attach request correlation to a response's stored trace."""
+        trace_id = response.metadata.get("trace_id")
+        if not isinstance(trace_id, str):
+            return None
+        self.server.engine.tracer.store.annotate(
+            trace_id, request_id=self._request_id, endpoint=endpoint
+        )
+        return trace_id
 
     # -- plumbing ----------------------------------------------------------
 
@@ -225,6 +323,8 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
+        if self._request_id:
+            self.send_header("X-Request-ID", self._request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -241,6 +341,8 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
         self.send_header("Location", location)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
+        if self._request_id:
+            self.send_header("X-Request-ID", self._request_id)
         self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(encoded)
@@ -248,7 +350,9 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
     def _send_exception(
         self, status: int, error: BaseException, headers: Optional[Dict[str, str]] = None
     ) -> None:
-        self._send_envelope(status, error_envelope(error), headers)
+        self._send_envelope(
+            status, error_envelope(error, request_id=self._request_id), headers
+        )
 
     def _send_error(
         self,
@@ -258,11 +362,14 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
         retryable: bool = False,
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        self._send_envelope(
-            status,
-            {"error": {"code": code, "message": message, "retryable": retryable}},
-            headers,
-        )
+        body: Dict[str, object] = {
+            "code": code,
+            "message": message,
+            "retryable": retryable,
+        }
+        if self._request_id is not None:
+            body["request_id"] = self._request_id
+        self._send_envelope(status, {"error": body}, headers)
 
     def _send_envelope(
         self, status: int, payload: Dict[str, object], headers: Optional[Dict[str, str]]

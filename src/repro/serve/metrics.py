@@ -17,13 +17,12 @@ import time
 from collections import Counter, deque
 from typing import Callable, Deque, Dict, Optional
 
+# One percentile implementation for the whole package: the service metrics
+# and the observability histograms must agree on rank selection.  Re-exported
+# here because this was its historical import location.
+from repro.obs.registry import percentile
 
-def percentile(sorted_values: list, fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted sequence."""
-    if not sorted_values:
-        return 0.0
-    index = round(fraction * (len(sorted_values) - 1))
-    return float(sorted_values[index])
+__all__ = ["ServiceMetrics", "percentile"]
 
 
 class ServiceMetrics:
@@ -44,6 +43,7 @@ class ServiceMetrics:
         self._rejected = 0
         self._errors = 0
         self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self._latency_sum = 0.0
         self._batch_sizes: Counter = Counter()
 
     def record_request(self) -> None:
@@ -66,6 +66,7 @@ class ServiceMetrics:
         with self._lock:
             self._completed += 1
             self._latencies.append(latency_seconds)
+            self._latency_sum += latency_seconds
 
     def record_batch(self, batch_size: int) -> None:
         """Record the size of one executed micro-batch."""
@@ -94,6 +95,9 @@ class ServiceMetrics:
                 "rejected_total": self._rejected,
                 "errors_total": self._errors,
                 "qps": self._completed / uptime,
+                # Un-windowed latency total: the `_sum` of the Prometheus
+                # latency summary (quantiles stay windowed).
+                "latency_seconds_sum": self._latency_sum,
                 "latency_ms": {
                     "p50": percentile(latencies, 0.50) * 1000.0,
                     "p95": percentile(latencies, 0.95) * 1000.0,

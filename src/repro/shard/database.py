@@ -44,6 +44,7 @@ from repro.errors import (
     SnapshotCorruptionError,
     VectorDatabaseError,
 )
+from repro.obs.trace import span as obs_span
 from repro.shard.partition import Partitioner, make_partitioner
 from repro.shard.router import (
     ReplicaGroup,
@@ -266,7 +267,8 @@ class ShardedCollection:
         per_shard = self._router.scatter(
             lambda backend: backend.get_collection(name).search(vector, k)
         )
-        return merge_top_k(per_shard, k, self._tie_rank)
+        with obs_span("merge", num_shards=self.num_shards, k=k):
+            return merge_top_k(per_shard, k, self._tie_rank)
 
     def search_batch(self, queries: np.ndarray, k: int) -> List[List[SearchHit]]:
         """Scatter a query batch to every shard and merge row-wise top-``k``."""
@@ -280,7 +282,8 @@ class ShardedCollection:
         per_shard = self._router.scatter(
             lambda backend: backend.get_collection(name).search_batch(batch, k)
         )
-        return merge_top_k_batches(per_shard, k, self._tie_rank)
+        with obs_span("merge", num_shards=self.num_shards, k=k):
+            return merge_top_k_batches(per_shard, k, self._tie_rank)
 
     def search_exhaustive(self, query: np.ndarray, k: int) -> List[SearchHit]:
         """Exact brute-force search, scattered and merged (w/o-ANNS ablation)."""
@@ -298,7 +301,8 @@ class ShardedCollection:
         per_shard = self._router.scatter(
             lambda backend: backend.get_collection(name).search_exhaustive_batch(batch, k)
         )
-        return merge_top_k_batches(per_shard, k, self._tie_rank)
+        with obs_span("merge", num_shards=self.num_shards, k=k):
+            return merge_top_k_batches(per_shard, k, self._tie_rank)
 
     def get_vector(self, external_id: str) -> np.ndarray:
         """Return the stored vector for an id (routed to its shard)."""
@@ -458,7 +462,13 @@ class ShardedDatabase:
         return sum(collection.num_entities for collection in self._collections.values())
 
     def status(self) -> Dict[str, object]:
-        """Shard/replica health and balance summary (for ``/v1/stats``)."""
+        """Shard/replica health and balance summary (for ``/v1/stats``).
+
+        The overall ``"health"`` classifies the replica topology: ``"ok"``
+        (every replica healthy), ``"degraded"`` (some replicas down but every
+        shard still has at least one), or ``"unavailable"`` (a shard has no
+        healthy replica left — scatter queries will fail).
+        """
         shards = []
         for index, group_status in enumerate(self._router.status()):
             entry = dict(group_status)
@@ -467,7 +477,13 @@ class ShardedDatabase:
                 for collection in self._collections.values()
             )
             shards.append(entry)
-        return {"num_shards": self.num_shards, "shards": shards}
+        if any(entry["healthy_replicas"] == 0 for entry in shards):
+            health = "unavailable"
+        elif any(entry["healthy_replicas"] < entry["replicas"] for entry in shards):
+            health = "degraded"
+        else:
+            health = "ok"
+        return {"num_shards": self.num_shards, "health": health, "shards": shards}
 
     def save(self, path: str | Path) -> None:
         """Persist the whole sharded database to a directory tree.

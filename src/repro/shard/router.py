@@ -16,7 +16,9 @@ and poison the health state.
 
 from __future__ import annotations
 
+import contextvars
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
@@ -29,9 +31,28 @@ from repro.errors import (
     ShardError,
     ShardUnavailableError,
 )
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import record_span, span as obs_span, tracing_active
 from repro.vectordb.collection import SearchHit
 
 T = TypeVar("T")
+
+#: Per-replica call latency, labelled by shard, replica, and outcome
+#: ("ok" / "error" / "request_error").  Lives in the module-level registry
+#: because the router sits below any engine that could own it.
+SHARD_CALL_SECONDS = REGISTRY.histogram(
+    "lovo_shard_call_seconds",
+    "Latency of individual shard replica calls.",
+    ("shard", "replica", "outcome"),
+)
+
+#: Failovers per shard: calls that moved on to another replica after an
+#: unexpected error marked the serving replica unhealthy.
+SHARD_FAILOVERS = REGISTRY.counter(
+    "lovo_shard_failovers_total",
+    "Shard calls that failed over to another replica.",
+    ("shard",),
+)
 
 #: Errors that indicate a bad *request*, not a bad replica: every replica of a
 #: group would raise them identically, so the router propagates them without
@@ -146,26 +167,88 @@ class ShardRouter:
         """Run ``fn(backend)`` once per shard (in parallel) and gather results.
 
         Each shard's call is answered by one healthy replica, failing over on
-        unexpected errors; the returned list is ordered by shard index.
+        unexpected errors; the returned list is ordered by shard index.  When
+        a trace is active, the scatter records one ``shard_search`` span per
+        replica attempt — pool threads inherit the caller's trace context via
+        a fresh ``contextvars`` copy per shard (a single context object must
+        not run in two threads at once).
         """
         if self._executor is None:
-            return [self._call_with_failover(group, fn) for group in self._groups]
-        futures = [
-            self._executor.submit(self._call_with_failover, group, fn)
-            for group in self._groups
-        ]
-        return [future.result() for future in futures]
+            with obs_span("scatter", num_shards=len(self._groups)):
+                return [self._call_with_failover(group, fn) for group in self._groups]
+        with obs_span("scatter", num_shards=len(self._groups)):
+            propagate = tracing_active()
+            futures = []
+            for group in self._groups:
+                if propagate:
+                    context = contextvars.copy_context()
+                    futures.append(
+                        self._executor.submit(
+                            context.run, self._call_with_failover, group, fn
+                        )
+                    )
+                else:
+                    futures.append(
+                        self._executor.submit(self._call_with_failover, group, fn)
+                    )
+            return [future.result() for future in futures]
 
     def _call_with_failover(self, group: ReplicaGroup, fn: Callable[[object], T]) -> T:
         last_error: Optional[BaseException] = None
+        shard = str(group.shard_index)
+        failed_over = False
         for replica in group.rotation():
+            start = time.perf_counter()
             try:
-                return fn(replica.backend)
+                result = fn(replica.backend)
             except NON_FAILOVER_ERRORS:
+                end = time.perf_counter()
+                SHARD_CALL_SECONDS.observe(
+                    end - start, shard=shard, replica=replica.name, outcome="request_error"
+                )
+                record_span(
+                    "shard_search",
+                    start,
+                    end,
+                    shard=group.shard_index,
+                    replica=replica.name,
+                    outcome="request_error",
+                    failover=failed_over,
+                )
                 raise
             except Exception as error:  # noqa: BLE001 - replica failure → fail over
+                end = time.perf_counter()
+                SHARD_CALL_SECONDS.observe(
+                    end - start, shard=shard, replica=replica.name, outcome="error"
+                )
+                SHARD_FAILOVERS.inc(shard=shard)
+                record_span(
+                    "shard_search",
+                    start,
+                    end,
+                    shard=group.shard_index,
+                    replica=replica.name,
+                    outcome="error",
+                    failover=failed_over,
+                )
                 group.mark_unhealthy(replica)
+                failed_over = True
                 last_error = error
+                continue
+            end = time.perf_counter()
+            SHARD_CALL_SECONDS.observe(
+                end - start, shard=shard, replica=replica.name, outcome="ok"
+            )
+            record_span(
+                "shard_search",
+                start,
+                end,
+                shard=group.shard_index,
+                replica=replica.name,
+                outcome="ok",
+                failover=failed_over,
+            )
+            return result
         raise ShardUnavailableError(
             f"Shard {group.shard_index} has no healthy replica left"
         ) from last_error
