@@ -1,0 +1,142 @@
+"""Streaming ingest under load: sustained append QPS with concurrent queries.
+
+The streaming subsystem's claim is that live segments flow into the indexes
+without rebuilding them and without stalling the query path: appends publish
+atomic copy-on-write views, so a query never waits on a segment being
+indexed.  This benchmark measures
+
+* sustained ingest throughput (segments/sec and vectors/sec) while a query
+  loop hammers the same system, and
+* query latency under live ingest versus the quiescent (no-ingest) baseline.
+
+The acceptance gate: **query p50 under live ingest stays within 1.5x of the
+quiescent p50** — streaming in new video must not visibly degrade readers.
+The mechanism that makes the gate hold on small machines is the ingest
+pipeline's duty-cycle pacer (``StreamConfig.max_duty_cycle``): capping the
+pipeline at a small fraction of wall-clock time leaves most of the CPU to
+the query path, at the cost of proportionally lower ingest throughput.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Dict, List
+
+from repro import LOVO, StreamConfig
+from repro.eval.reporting import format_table
+from repro.eval.workloads import queries_for_dataset
+from repro.stream import StreamingIngestor
+from repro.video.datasets import make_bellevue
+
+from conftest import bench_lovo_config, report
+
+DATASET = "bellevue"
+#: Base corpus: large enough that one query takes several times longer than
+#: one paced work burst, so every query absorbs close to the average ingest
+#: contention rather than a bimodal hit-or-miss slowdown (keeps p50 stable).
+BASE_VIDEOS = 2
+BASE_FRAMES = 300
+#: Segments streamed in while the query loop runs: many small segments keep
+#: the paced work bursts short and fine-grained.
+NUM_SEGMENTS = 10
+SEGMENT_FRAMES = 30
+#: Queries answered per latency measurement pass.
+QUERIES_PER_PASS = 24
+#: The gate: live p50 must stay within this factor of quiescent p50.
+P50_GATE = 1.5
+#: Pipeline CPU share; leaves 1 - DUTY_CYCLE of the machine to queries.
+DUTY_CYCLE = 0.15
+
+
+def _tiled_queries(count: int) -> List[str]:
+    texts = [spec.text for spec in queries_for_dataset(DATASET)]
+    return (texts * (count // len(texts) + 1))[:count]
+
+
+def _latency_pass(system: LOVO, texts: List[str]) -> List[float]:
+    """Per-query latencies (seconds) of one serial measurement pass."""
+    latencies = []
+    for text in texts:
+        start = time.perf_counter()
+        system.query(text)
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def run_streaming_ingest() -> Dict[str, float]:
+    """Quiescent vs under-ingest query latency plus sustained ingest rate."""
+    system = LOVO(bench_lovo_config("flat"))
+    system.ingest(make_bellevue(num_videos=BASE_VIDEOS, frames_per_video=BASE_FRAMES))
+    texts = _tiled_queries(QUERIES_PER_PASS)
+
+    # Warm the encoders/caches, then measure the quiescent baseline.
+    _latency_pass(system, texts[:6])
+    quiescent = _latency_pass(system, texts)
+
+    # Distinct seeds keep segment video ids disjoint from the base dataset.
+    segments = [
+        make_bellevue(num_videos=1, frames_per_video=SEGMENT_FRAMES, seed=100 + i)
+        for i in range(NUM_SEGMENTS)
+    ]
+    ingestor = StreamingIngestor(
+        system, config=StreamConfig(max_duty_cycle=DUTY_CYCLE)
+    ).start()
+    live: List[float] = []
+    try:
+        ingest_start = time.perf_counter()
+        tickets = [ingestor.submit(segment) for segment in segments]
+        # Query continuously while the pipeline is busy; keep measuring until
+        # every segment is queryable so the pass genuinely overlaps ingest.
+        while any(not ticket.done for ticket in tickets):
+            live.extend(_latency_pass(system, texts[:6]))
+        for ticket in tickets:
+            ticket.result(timeout=600)
+        ingest_seconds = time.perf_counter() - ingest_start
+        stats = ingestor.stats()
+        assert stats["failed"] == 0, f"segments failed in the pipeline: {stats}"
+        assert stats["lag"] == 0, f"segments left unindexed: {stats}"
+    finally:
+        ingestor.stop()
+
+    if len(live) < 6:  # pipeline outran the first pass; take one more sample
+        live.extend(_latency_pass(system, texts[:6]))
+
+    quiescent_p50 = statistics.median(quiescent)
+    live_p50 = statistics.median(live)
+    return {
+        "quiescent_p50_ms": quiescent_p50 * 1000.0,
+        "live_p50_ms": live_p50 * 1000.0,
+        "p50_ratio": live_p50 / quiescent_p50,
+        "segments_per_sec": NUM_SEGMENTS / ingest_seconds,
+        "vectors_per_sec": stats["entities"] / ingest_seconds,
+        "entities_streamed": stats["entities"],
+        "queries_under_ingest": len(live),
+    }
+
+
+def test_streaming_ingest_latency_gate(benchmark):
+    results = benchmark.pedantic(run_streaming_ingest, rounds=1, iterations=1)
+
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["quiescent query p50 (ms)", f"{results['quiescent_p50_ms']:.1f}"],
+            ["query p50 under live ingest (ms)", f"{results['live_p50_ms']:.1f}"],
+            ["p50 ratio (gate <= 1.5x)", f"{results['p50_ratio']:.2f}x"],
+            ["ingest throughput (segments/s)", f"{results['segments_per_sec']:.2f}"],
+            ["ingest throughput (vectors/s)", f"{results['vectors_per_sec']:.0f}"],
+            ["vectors streamed", f"{results['entities_streamed']:.0f}"],
+            ["queries answered under ingest", f"{results['queries_under_ingest']:.0f}"],
+        ],
+        title="Streaming ingest: query latency under live appends",
+    )
+    print()
+    print(table)
+    report("streaming_ingest", table)
+
+    assert results["entities_streamed"] > 0
+    assert results["p50_ratio"] <= P50_GATE, (
+        f"query p50 under live ingest degraded {results['p50_ratio']:.2f}x "
+        f"(gate: {P50_GATE}x)"
+    )

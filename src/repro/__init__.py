@@ -22,6 +22,11 @@ Public API overview
   shard → index stack, a unified metrics registry, and Prometheus text
   exposition (served at ``GET /v1/metrics``).  Configured by
   :class:`repro.ObsConfig`; on by default, near-free when disabled.
+* :mod:`repro.stream` — streaming ingest: a background encode→index pipeline
+  appending live segments into the indexes (bit-exact with offline ingest),
+  delta snapshots with compaction (:class:`repro.persist.delta.
+  DeltaSnapshotStore`), and standing queries pushed to subscribers over
+  ``/v1/subscriptions``.  Configured by :class:`repro.StreamConfig`.
 """
 
 from repro.config import (
@@ -33,6 +38,7 @@ from repro.config import (
     QueryConfig,
     ServeConfig,
     ShardConfig,
+    StreamConfig,
 )
 from repro.core.query import QueryOptions, QueryRequest
 from repro.core.results import BatchQueryResponse, ObjectQueryResult, QueryResponse
@@ -43,6 +49,10 @@ from repro.errors import (
     ServingError,
     ShardError,
     ShardUnavailableError,
+    StreamBackpressureError,
+    StreamClosedError,
+    StreamError,
+    SubscriptionNotFoundError,
     SystemNotReadyError,
     error_envelope,
 )
@@ -87,6 +97,7 @@ __all__ = [
     "QueryConfig",
     "ServeConfig",
     "ShardConfig",
+    "StreamConfig",
     "QueryRequest",
     "QueryOptions",
     "QueryResponse",
@@ -97,6 +108,10 @@ __all__ = [
     "ServiceOverloadedError",
     "ShardError",
     "ShardUnavailableError",
+    "StreamError",
+    "StreamBackpressureError",
+    "StreamClosedError",
+    "SubscriptionNotFoundError",
     "SystemNotReadyError",
     "error_envelope",
     "__version__",

@@ -259,6 +259,73 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class StreamConfig:
+    """Configuration of the streaming ingest subsystem (:mod:`repro.stream`).
+
+    Attributes:
+        encode_queue_size: Capacity of the bounded queue feeding the encode
+            stage (submitted segments waiting to be summarized).
+        index_queue_size: Capacity of the bounded queue between the encode
+            and index stages (summaries waiting to be appended to the live
+            indexes).
+        backpressure: What a full encode queue does to ``submit``:
+            ``"block"`` waits for space; ``"reject"`` raises
+            :class:`~repro.errors.StreamBackpressureError` immediately.
+        subscription_buffer_size: Per-subscriber bounded event buffer; when a
+            slow consumer falls this far behind, the oldest undelivered
+            matches are dropped (and counted).
+        max_subscriptions: Upper bound on concurrently registered standing
+            queries.
+        max_matches_per_segment: At most this many matches are pushed to one
+            subscriber per ingested segment (the best-scoring ones win), so a
+            broad standing query cannot flood its buffer with one segment.
+        default_poll_seconds: How long ``GET .../events`` long-polls when the
+            request does not say.
+        max_poll_seconds: Hard ceiling on one long-poll wait.
+        max_duty_cycle: Optional cap on the fraction of wall-clock time the
+            ingest pipeline may spend doing work (encode + index combined).
+            ``None`` (the default) runs ingest at full speed; ``0.25`` leaves
+            at least three quarters of the CPU to concurrent queries, trading
+            ingest throughput for query-latency isolation on small machines.
+    """
+
+    encode_queue_size: int = 8
+    index_queue_size: int = 8
+    backpressure: str = "block"
+    subscription_buffer_size: int = 256
+    max_subscriptions: int = 128
+    max_matches_per_segment: int = 32
+    default_poll_seconds: float = 2.0
+    max_poll_seconds: float = 30.0
+    max_duty_cycle: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.encode_queue_size <= 0 or self.index_queue_size <= 0:
+            raise ConfigurationError("Stream queue sizes must be positive")
+        if self.backpressure not in {"block", "reject"}:
+            raise ConfigurationError(
+                f"Unknown backpressure mode {self.backpressure!r}; "
+                "expected 'block' or 'reject'"
+            )
+        if self.subscription_buffer_size <= 0:
+            raise ConfigurationError("subscription_buffer_size must be positive")
+        if self.max_subscriptions <= 0:
+            raise ConfigurationError("max_subscriptions must be positive")
+        if self.max_matches_per_segment <= 0:
+            raise ConfigurationError("max_matches_per_segment must be positive")
+        if self.default_poll_seconds < 0 or self.max_poll_seconds <= 0:
+            raise ConfigurationError(
+                "default_poll_seconds must be non-negative and max_poll_seconds positive"
+            )
+        if self.default_poll_seconds > self.max_poll_seconds:
+            raise ConfigurationError(
+                "default_poll_seconds cannot exceed max_poll_seconds"
+            )
+        if self.max_duty_cycle is not None and not 0 < self.max_duty_cycle <= 1:
+            raise ConfigurationError("max_duty_cycle must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
 class ObsConfig:
     """Configuration of the observability subsystem (:mod:`repro.obs`).
 
@@ -307,6 +374,7 @@ class LOVOConfig:
     serve: ServeConfig = field(default_factory=ServeConfig)
     shard: ShardConfig = field(default_factory=ShardConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
+    stream: StreamConfig = field(default_factory=StreamConfig)
 
     def with_overrides(
         self,
@@ -317,6 +385,7 @@ class LOVOConfig:
         serve: ServeConfig | None = None,
         shard: ShardConfig | None = None,
         obs: ObsConfig | None = None,
+        stream: StreamConfig | None = None,
     ) -> "LOVOConfig":
         """Return a copy with selected sub-configurations replaced."""
         return LOVOConfig(
@@ -327,6 +396,7 @@ class LOVOConfig:
             serve=serve or self.serve,
             shard=shard or self.shard,
             obs=obs or self.obs,
+            stream=stream or self.stream,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -351,12 +421,13 @@ class LOVOConfig:
             "keyframes": KeyframeConfig,
             "index": IndexConfig,
             "query": QueryConfig,
-            # Snapshots written before the serving, sharding, or
-            # observability subsystems carry no "serve"/"shard"/"obs"
+            # Snapshots written before the serving, sharding, observability,
+            # or streaming subsystems carry no "serve"/"shard"/"obs"/"stream"
             # section; ``payload.get`` below falls back to the defaults.
             "serve": ServeConfig,
             "shard": ShardConfig,
             "obs": ObsConfig,
+            "stream": StreamConfig,
         }
         unknown = set(payload) - set(sections)
         if unknown:

@@ -77,6 +77,7 @@ class LOVO:
         self._summary: Optional[SummaryOutput] = None
         self._datasets: List[str] = []
         self._ingest_lock = threading.Lock()
+        self._data_version = 0
 
     @property
     def config(self) -> LOVOConfig:
@@ -130,6 +131,42 @@ class LOVO:
         """Names of the datasets ingested so far."""
         return list(self._datasets)
 
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped after every ingest (offline or streamed).
+
+        Result caches fold this into their keys so entries computed before an
+        ingest can never be served afterwards (they simply stop being looked
+        up); the streaming ingestor exposes it as the consumers' freshness
+        epoch.
+        """
+        return self._data_version
+
+    def ensure_storage(self) -> LOVOStorage:
+        """Create (empty) storage and a query strategy without ingesting.
+
+        Lets a streaming deployment come up cold — ready to answer (empty)
+        queries and to be snapshotted — before its first segment arrives.
+        A subsequent :meth:`ingest` adopts the same storage.
+        """
+        with self._ingest_lock:
+            if self._storage is None:
+                self._storage = LOVOStorage(
+                    dim=self._config.encoder.class_embedding_dim,
+                    index_config=self._config.index,
+                    shard_config=self._config.shard,
+                )
+                self._strategy = QueryStrategy(
+                    text_encoder=self._text_encoder,
+                    reranker=self._reranker,
+                    summarizer=self._summarizer,
+                    storage=self._storage,
+                    frame_registry=self._frame_registry,
+                    frame_scene=self._frame_scene,
+                    config=self._config.query,
+                )
+            return self._storage
+
     def ingest(self, dataset: VideoDataset) -> SummaryOutput:
         """One-time video processing and indexing of a dataset.
 
@@ -137,13 +174,25 @@ class LOVO:
         datasets are appended to the same collection).
         """
         with self._ingest_lock:
-            return self._ingest_locked(dataset)
+            processing_timer = PhaseTimer()
+            summary = self._summarizer.summarize(dataset, timer=processing_timer)
+            self._timer.add("processing", processing_timer.total("keyframes", "encoding"))
+            return self._apply_summary_locked(dataset.name, summary)
 
-    def _ingest_locked(self, dataset: VideoDataset) -> SummaryOutput:
-        processing_timer = PhaseTimer()
-        summary = self._summarizer.summarize(dataset, timer=processing_timer)
-        self._timer.add("processing", processing_timer.total("keyframes", "encoding"))
+    def ingest_summary(self, dataset_name: str, summary: SummaryOutput) -> SummaryOutput:
+        """Index an already-summarized segment (the streaming ingest path).
 
+        The streaming pipeline runs :class:`~repro.core.summary.
+        VideoSummarizer` in its own encode stage so this indexing step — the
+        part that must serialise against other ingests — stays as short as
+        possible.  Applying the same summaries in the same order as
+        :meth:`ingest` produces bit-identical index state, which is what the
+        streamed-vs-offline parity tests assert.
+        """
+        with self._ingest_lock:
+            return self._apply_summary_locked(dataset_name, summary)
+
+    def _apply_summary_locked(self, dataset_name: str, summary: SummaryOutput) -> SummaryOutput:
         if self._storage is None:
             self._storage = LOVOStorage(
                 dim=self._config.encoder.class_embedding_dim,
@@ -166,7 +215,7 @@ class LOVO:
             self._summary.frame_scene.update(summary.frame_scene)
             self._summary.frames_processed += summary.frames_processed
             self._summary.total_frames += summary.total_frames
-        self._datasets.append(dataset.name)
+        self._datasets.append(dataset_name)
 
         self._strategy = QueryStrategy(
             text_encoder=self._text_encoder,
@@ -177,6 +226,9 @@ class LOVO:
             frame_scene=self._frame_scene,
             config=self._config.query,
         )
+        # Bumped last: by the time any cache observes the new epoch, the
+        # strategy above is already serving the newly indexed data.
+        self._data_version += 1
         return summary
 
     def query(
@@ -236,8 +288,13 @@ class LOVO:
         everything :meth:`load` needs to answer queries bit-identically in a
         fresh process without re-running :meth:`ingest`.
         """
-        if self._storage is None or self._summary is None:
-            raise PersistenceError("Cannot snapshot an empty system: call ingest() first")
+        if self._storage is None:
+            raise PersistenceError(
+                "Cannot snapshot a system with no storage: call ingest() first"
+            )
+        # A storage-bearing system with zero datasets (e.g. a streaming
+        # deployment snapshotted before its first segment arrived) still
+        # round-trips: the summary is simply absent and the counters zero.
         return save_system(
             path,
             config=self._config,
@@ -245,8 +302,8 @@ class LOVO:
             keyframes=list(self._frame_registry.values()),
             frame_scene=self._frame_scene,
             datasets=self._datasets,
-            frames_processed=self._summary.frames_processed,
-            total_frames=self._summary.total_frames,
+            frames_processed=0 if self._summary is None else self._summary.frames_processed,
+            total_frames=0 if self._summary is None else self._summary.total_frames,
             reranker_config=asdict(self._reranker.config),
             info={"backend": self._storage.backend_status()},
         )
@@ -276,6 +333,7 @@ class LOVO:
                 ) from error
         system = cls(restored.config, reranker_config)
         system._storage = restored.storage
+        system._data_version = len(restored.datasets)
         for frame in restored.keyframes:
             system._frame_registry[frame.frame_id] = frame
         system._frame_scene = dict(restored.frame_scene)

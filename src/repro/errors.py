@@ -181,6 +181,53 @@ class ServiceOverloadedError(ServingError):
     retryable = True
 
 
+class StreamError(ServingError):
+    """Base class for errors raised by the streaming ingest subsystem.
+
+    Subclasses :class:`ServingError` because the streaming pipeline is part
+    of the serving deployment: lifecycle misuse maps to the same 5xx family.
+    """
+
+    code = "stream_error"
+    retryable = False
+
+
+class StreamBackpressureError(StreamError):
+    """Raised when the streaming ingest queue is full in ``reject`` mode.
+
+    Like :class:`ServiceOverloadedError` this is backpressure, not failure —
+    the producer should retry after the pipeline drains.
+    """
+
+    code = "stream_overloaded"
+    retryable = True
+
+
+class StreamClosedError(StreamError):
+    """Raised when submitting a segment to a stopped streaming ingestor."""
+
+    code = "stream_closed"
+    retryable = False
+
+
+class SubscriptionNotFoundError(StreamError):
+    """Raised when a standing-query subscription id does not exist.
+
+    A client-side addressing mistake, not a service condition: the HTTP
+    frontend maps it to *404 Not Found*.
+    """
+
+    code = "subscription_not_found"
+    retryable = False
+
+
+class SubscriptionLimitError(StreamError):
+    """Raised when registering more standing queries than the configured cap."""
+
+    code = "subscription_limit"
+    retryable = True
+
+
 def error_envelope(
     error: BaseException, request_id: str | None = None
 ) -> Dict[str, object]:

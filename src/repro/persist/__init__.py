@@ -14,6 +14,7 @@ High-level entry points live on the objects themselves —
 :func:`save_system` / :func:`load_system` here.
 """
 
+from repro.persist.delta import DeltaSnapshotStore
 from repro.persist.manifest import (
     MANIFEST_FILENAME,
     SNAPSHOT_SCHEMA_VERSION,
@@ -28,6 +29,7 @@ __all__ = [
     "MANIFEST_FILENAME",
     "SNAPSHOT_SCHEMA_VERSION",
     "SnapshotManifest",
+    "DeltaSnapshotStore",
     "RestoredSystem",
     "read_manifest",
     "sha256_file",

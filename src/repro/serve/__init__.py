@@ -22,7 +22,7 @@ Or over HTTP::
     python -m repro.serve --snapshot snapshots/bellevue --port 8080
 """
 
-from repro.config import ServeConfig
+from repro.config import ServeConfig, StreamConfig
 from repro.serve.batcher import MicroBatcher, PendingQuery
 from repro.serve.cache import ResultCache, TTLLRUCache, normalize_query_text
 from repro.serve.engine import ServingEngine
@@ -31,6 +31,7 @@ from repro.serve.metrics import ServiceMetrics
 
 __all__ = [
     "ServeConfig",
+    "StreamConfig",
     "ServingEngine",
     "MicroBatcher",
     "PendingQuery",

@@ -9,9 +9,14 @@ reflects newly ingested data, and the LRU bound keeps memory flat.
 :class:`TTLLRUCache` is the generic mechanism — a thread-safe extension of
 :class:`repro.utils.cache.LRUCache` that stamps every entry with a deadline.
 :class:`ResultCache` specialises it for query serving: keys are the
-*normalized* query text plus the retrieval depths ``(k, n)`` that shaped the
-response, and hits are returned as fresh :class:`~repro.core.results.QueryResponse`
-objects carrying the caller's original text and a ``cache_hit`` marker.
+*normalized* query text, the retrieval depths ``(k, n)`` that shaped the
+response, and the data **epoch** the response was computed against (the
+system's ``data_version``), and hits are returned as fresh
+:class:`~repro.core.results.QueryResponse` objects carrying the caller's
+original text and a ``cache_hit`` marker.  The epoch component is what keeps
+the cache honest under streaming ingest: every ingest bumps the version, so
+entries produced before it simply stop being looked up — a TTL-sized window
+of stale answers becomes impossible, not merely short.
 """
 
 from __future__ import annotations
@@ -94,7 +99,7 @@ class TTLLRUCache(LRUCache[K, Tuple[V, float]]):
 
 
 class ResultCache:
-    """Query-response cache keyed on normalized text + retrieval depths."""
+    """Query-response cache keyed on normalized text, depths, and data epoch."""
 
     def __init__(
         self,
@@ -102,19 +107,21 @@ class ResultCache:
         ttl_seconds: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
-        self._cache: TTLLRUCache[Tuple[str, int, int], QueryResponse] = TTLLRUCache(
+        self._cache: TTLLRUCache[Tuple[str, int, int, int], QueryResponse] = TTLLRUCache(
             maxsize=maxsize, ttl_seconds=ttl_seconds, clock=clock
         )
 
     @staticmethod
-    def make_key(text: str, fast_search_k: int, top_n: int) -> Tuple[str, int, int]:
-        """The cache key of a query: normalized text plus ``(k, n)``."""
-        return (normalize_query_text(text), int(fast_search_k), int(top_n))
+    def make_key(
+        text: str, fast_search_k: int, top_n: int, epoch: int = 0
+    ) -> Tuple[str, int, int, int]:
+        """The cache key of a query: normalized text, ``(k, n)``, and epoch."""
+        return (normalize_query_text(text), int(fast_search_k), int(top_n), int(epoch))
 
     @staticmethod
     def key_for(
-        text: str, options: QueryOptions, config: QueryConfig
-    ) -> Tuple[str, int, int]:
+        text: str, options: QueryOptions, config: QueryConfig, epoch: int = 0
+    ) -> Tuple[str, int, int, int]:
         """The cache key of a canonical request under a query config.
 
         Keyed on the *resolved* retrieval depths, so semantically identical
@@ -125,13 +132,13 @@ class ResultCache:
         backend topology never enters it.
         """
         fast_search_k, top_n = options.resolved(config)
-        return ResultCache.make_key(text, fast_search_k, top_n)
+        return ResultCache.make_key(text, fast_search_k, top_n, epoch)
 
     def get_for(
-        self, text: str, options: QueryOptions, config: QueryConfig
+        self, text: str, options: QueryOptions, config: QueryConfig, epoch: int = 0
     ) -> Optional[QueryResponse]:
         """Options-aware :meth:`get` (see :meth:`key_for`)."""
-        return self.get(text, *options.resolved(config))
+        return self.get(text, *options.resolved(config), epoch=epoch)
 
     def put_for(
         self,
@@ -139,11 +146,14 @@ class ResultCache:
         options: QueryOptions,
         config: QueryConfig,
         response: QueryResponse,
+        epoch: int = 0,
     ) -> None:
         """Options-aware :meth:`put` (see :meth:`key_for`)."""
-        self.put(text, *options.resolved(config), response)
+        self.put(text, *options.resolved(config), response, epoch=epoch)
 
-    def get(self, text: str, fast_search_k: int, top_n: int) -> Optional[QueryResponse]:
+    def get(
+        self, text: str, fast_search_k: int, top_n: int, epoch: int = 0
+    ) -> Optional[QueryResponse]:
         """A fresh response object for a live cached result, else ``None``.
 
         The returned response shares the (immutable) result records with the
@@ -151,7 +161,7 @@ class ResultCache:
         ``cache_hit`` metadata marker, so callers can mutate their response
         without corrupting the cache.
         """
-        cached = self._cache.get(self.make_key(text, fast_search_k, top_n))
+        cached = self._cache.get(self.make_key(text, fast_search_k, top_n, epoch))
         if cached is None:
             return None
         return QueryResponse(
@@ -162,7 +172,12 @@ class ResultCache:
         )
 
     def put(
-        self, text: str, fast_search_k: int, top_n: int, response: QueryResponse
+        self,
+        text: str,
+        fast_search_k: int,
+        top_n: int,
+        response: QueryResponse,
+        epoch: int = 0,
     ) -> None:
         """Cache a served response under its normalized key.
 
@@ -176,7 +191,7 @@ class ResultCache:
             timings=dict(response.timings),
             metadata=dict(response.metadata),
         )
-        self._cache.put(self.make_key(text, fast_search_k, top_n), entry)
+        self._cache.put(self.make_key(text, fast_search_k, top_n, epoch), entry)
 
     def clear(self) -> None:
         """Drop every cached response."""

@@ -26,7 +26,7 @@ import threading
 import time
 from concurrent.futures import Future
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.config import ServeConfig
 from repro.core.query import QueryOptions, QueryRequest, as_query_request
@@ -43,6 +43,9 @@ from repro.obs.trace import Tracer, activate
 from repro.serve.batcher import MicroBatcher, PendingQuery
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import ServiceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stream.ingestor import StreamingIngestor
 
 
 class ServingEngine:
@@ -77,6 +80,7 @@ class ServingEngine:
         self._lifecycle_lock = threading.Lock()
         self._running = False
         self._stopped = False
+        self._streaming: "Optional[StreamingIngestor]" = None
 
     @classmethod
     def from_snapshot(
@@ -114,6 +118,10 @@ class ServingEngine:
         """This engine's metrics registry (service families via collector)."""
         return self._registry
 
+    def _data_epoch(self) -> int:
+        """The system's current data version (0 for stand-ins without one)."""
+        return int(getattr(self._system, "data_version", 0))
+
     def _collect_service_families(self) -> List[MetricFamily]:
         phase_totals = None
         timer = getattr(self._system, "timer", None)
@@ -129,6 +137,31 @@ class ServingEngine:
         shard router records its per-replica call metrics into.
         """
         return self._registry.collect() + REGISTRY.collect()
+
+    @property
+    def streaming(self) -> "Optional[StreamingIngestor]":
+        """The attached streaming ingestor, if any."""
+        return self._streaming
+
+    def attach_streaming(
+        self, ingestor: "Optional[StreamingIngestor]" = None
+    ) -> "StreamingIngestor":
+        """Attach (and start) a streaming ingestor over this engine's system.
+
+        With no argument a default :class:`~repro.stream.ingestor.
+        StreamingIngestor` is built from the system's ``stream`` config.  The
+        ingestor's lifecycle is then tied to the engine: :meth:`stop` drains
+        and stops it, and the HTTP frontend's subscription endpoints route to
+        its :class:`~repro.stream.subscriptions.SubscriptionManager`.
+        """
+        if self._streaming is not None:
+            return self._streaming
+        if ingestor is None:
+            from repro.stream.ingestor import StreamingIngestor
+
+            ingestor = StreamingIngestor(self._system)
+        self._streaming = ingestor.start()
+        return self._streaming
 
     @property
     def running(self) -> bool:
@@ -167,6 +200,8 @@ class ServingEngine:
         cancelled (their futures report cancellation); batches already
         executing always finish either way.
         """
+        if self._streaming is not None:
+            self._streaming.stop(drain=drain, timeout=timeout)
         with self._lifecycle_lock:
             if not self._running:
                 self._stopped = True
@@ -225,9 +260,12 @@ class ServingEngine:
         trace = self._tracer.start(query=text)
         if self._cache is not None:
             # Hit/miss accounting lives in the cache itself (the single
-            # source of truth surfaced by stats()).
+            # source of truth surfaced by stats()).  The lookup is pinned to
+            # the system's current data epoch, so entries cached before an
+            # ingest (offline or streamed) can never be served after it.
             cached = self._cache.get_for(
-                text, coerced.options, self._system.config.query
+                text, coerced.options, self._system.config.query,
+                epoch=self._data_epoch(),
             )
             if cached is not None:
                 now = time.perf_counter()
@@ -346,6 +384,9 @@ class ServingEngine:
             }
         else:
             snapshot["cache"] = {"enabled": False}
+        snapshot["data_epoch"] = self._data_epoch()
+        if self._streaming is not None:
+            snapshot["streaming"] = self._streaming.stats()
         return snapshot
 
     def _backend_status(self) -> Dict[str, object]:
@@ -397,6 +438,11 @@ class ServingEngine:
         # fans each span the pass records (encode, fast_search, per-shard
         # search, merge, rerank) out into all of them.
         traces = [pending.trace for pending in group if pending.trace is not None]
+        # Captured *before* the engine pass: if an ingest lands mid-query the
+        # response may or may not include the new data, and filing it under
+        # the pre-query epoch means it is never served once the version moves
+        # on (filing under the post-query epoch could serve a stale answer).
+        epoch = self._data_epoch()
         try:
             with activate(traces):
                 responses = self._system.query_batch(
@@ -416,7 +462,9 @@ class ServingEngine:
             if pending.trace is not None:
                 response.metadata["trace_id"] = pending.trace.trace_id
             if self._cache is not None:
-                self._cache.put_for(pending.text, options, query_config, response)
+                self._cache.put_for(
+                    pending.text, options, query_config, response, epoch=epoch
+                )
             self._metrics.record_completion(now - pending.enqueued_at)
             self._tracer.finish(pending.trace)
             pending.future.set_result(response)

@@ -27,6 +27,17 @@ Endpoints (all under ``/v1``):
   wait, encode, per-shard search, merge, rerank).
 * ``GET /v1/traces/slow`` — the slow-query log (full traces above the
   configured latency threshold).
+* ``POST /v1/subscriptions`` — register a standing query:
+  ``{"query": str, "threshold": float?}``; requires a streaming ingestor
+  attached to the engine (503 ``stream_error`` otherwise).
+* ``GET /v1/subscriptions`` / ``GET /v1/subscriptions/<id>`` — list / fetch
+  registered standing queries with their delivery counters.
+* ``DELETE /v1/subscriptions/<id>`` — unregister (404 for unknown ids).
+* ``GET /v1/subscriptions/<id>/events?timeout=&max=`` — long-poll drain of
+  the subscription's match buffer: blocks up to ``timeout`` seconds (the
+  configured default when absent, clamped to the configured maximum) until
+  at least one match pushed by live ingest is available, then returns up to
+  ``max`` events.
 
 Request correlation: every endpoint accepts an ``X-Request-ID`` header (one
 is generated when absent), echoes it on the response, includes it in the
@@ -58,6 +69,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from concurrent.futures import CancelledError as FutureCancelledError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.query import QueryOptions, QueryRequest
 from repro.core.results import QueryResponse
@@ -66,6 +78,8 @@ from repro.errors import (
     ReproError,
     ServiceOverloadedError,
     ServingError,
+    StreamError,
+    SubscriptionNotFoundError,
     SystemNotReadyError,
     error_envelope,
 )
@@ -118,19 +132,31 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._request_id = self._resolve_request_id()
-        if self.path == f"{API_PREFIX}/healthz":
+        parts = urlsplit(self.path)
+        path = parts.path
+        if path == f"{API_PREFIX}/healthz":
             self._handle_healthz()
-        elif self.path == f"{API_PREFIX}/stats":
+        elif path == f"{API_PREFIX}/stats":
             self._send_json(200, self.server.engine.stats())
-        elif self.path == f"{API_PREFIX}/metrics":
+        elif path == f"{API_PREFIX}/metrics":
             self._guarded(self._handle_metrics)
-        elif self.path == f"{API_PREFIX}/traces/slow":
+        elif path == f"{API_PREFIX}/traces/slow":
             self._guarded(self._handle_slow_traces)
-        elif self.path.startswith(f"{API_PREFIX}/traces/"):
-            trace_id = self.path[len(f"{API_PREFIX}/traces/"):]
+        elif path.startswith(f"{API_PREFIX}/traces/"):
+            trace_id = path[len(f"{API_PREFIX}/traces/"):]
             self._guarded(lambda: self._handle_trace(trace_id))
-        elif self.path in LEGACY_REDIRECTS:
-            self._send_redirect(LEGACY_REDIRECTS[self.path])
+        elif path == f"{API_PREFIX}/subscriptions":
+            self._guarded(self._handle_subscriptions_list)
+        elif path.startswith(f"{API_PREFIX}/subscriptions/"):
+            tail = path[len(f"{API_PREFIX}/subscriptions/"):]
+            query = parse_qs(parts.query)
+            if tail.endswith("/events"):
+                sub_id = tail[: -len("/events")]
+                self._guarded(lambda: self._handle_subscription_events(sub_id, query))
+            else:
+                self._guarded(lambda: self._handle_subscription_get(tail))
+        elif path in LEGACY_REDIRECTS:
+            self._send_redirect(LEGACY_REDIRECTS[path])
         else:
             self._send_error(404, "not_found", f"Unknown path {self.path!r}")
 
@@ -140,8 +166,18 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
             self._guarded(self._handle_query)
         elif self.path == f"{API_PREFIX}/query_batch":
             self._guarded(self._handle_query_batch)
+        elif self.path == f"{API_PREFIX}/subscriptions":
+            self._guarded(self._handle_subscription_create)
         elif self.path in LEGACY_REDIRECTS:
             self._send_redirect(LEGACY_REDIRECTS[self.path])
+        else:
+            self._send_error(404, "not_found", f"Unknown path {self.path!r}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._request_id = self._resolve_request_id()
+        if self.path.startswith(f"{API_PREFIX}/subscriptions/"):
+            sub_id = self.path[len(f"{API_PREFIX}/subscriptions/"):]
+            self._guarded(lambda: self._handle_subscription_delete(sub_id))
         else:
             self._send_error(404, "not_found", f"Unknown path {self.path!r}")
 
@@ -253,6 +289,64 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
             },
         )
 
+    # -- standing-query endpoints -----------------------------------------
+
+    def _subscriptions(self):
+        """The attached ingestor's subscription manager, or a 503."""
+        streaming = self.server.engine.streaming
+        if streaming is None:
+            raise StreamError(
+                "No streaming ingestor attached; standing queries are unavailable"
+            )
+        return streaming.subscriptions
+
+    def _handle_subscription_create(self) -> None:
+        body = self._read_json_body()
+        query = body.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise _BadRequest('Body must contain a non-empty "query" string')
+        threshold = body.get("threshold", 0.0)
+        if not isinstance(threshold, (int, float)) or isinstance(threshold, bool):
+            raise _BadRequest('"threshold" must be a number')
+        subscription = self._subscriptions().register(query, float(threshold))
+        self._send_json(201, subscription.to_dict())
+
+    def _handle_subscriptions_list(self) -> None:
+        manager = self._subscriptions()
+        self._send_json(200, {"subscriptions": manager.list()})
+
+    def _handle_subscription_get(self, sub_id: str) -> None:
+        subscription = self._subscriptions().get(sub_id)
+        self._send_json(200, subscription.to_dict())
+
+    def _handle_subscription_delete(self, sub_id: str) -> None:
+        self._subscriptions().unregister(sub_id)
+        self._send_json(200, {"deleted": sub_id})
+
+    def _handle_subscription_events(self, sub_id: str, query: Dict[str, list]) -> None:
+        manager = self._subscriptions()
+        timeout = None
+        if "timeout" in query:
+            try:
+                timeout = float(query["timeout"][0])
+            except (ValueError, IndexError):
+                raise _BadRequest('"timeout" must be a number of seconds') from None
+        max_events = 64
+        if "max" in query:
+            try:
+                max_events = int(query["max"][0])
+            except (ValueError, IndexError):
+                raise _BadRequest('"max" must be an integer') from None
+        events = manager.poll(sub_id, timeout=timeout, max_events=max_events)
+        self._send_json(
+            200,
+            {
+                "subscription_id": sub_id,
+                "num_events": len(events),
+                "events": [event.to_dict() for event in events],
+            },
+        )
+
     def _annotate_trace(self, response: QueryResponse, endpoint: str) -> Optional[str]:
         """Attach request correlation to a response's stored trace."""
         trace_id = response.metadata.get("trace_id")
@@ -271,6 +365,9 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
             handler()
         except ServiceOverloadedError as error:
             self._send_exception(503, error, headers={"Retry-After": "1"})
+        except SubscriptionNotFoundError as error:
+            # A client-side addressing mistake, not a service condition.
+            self._send_exception(404, error)
         except SystemNotReadyError as error:
             self._send_exception(503, error)
         except QueryError as error:

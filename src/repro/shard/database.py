@@ -29,6 +29,7 @@ Bit-exact parity with the unsharded path is the design invariant:
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
 from pathlib import Path
@@ -89,6 +90,10 @@ class ShardedCollection:
         self._global_position: Dict[str, int] = {}
         self._assignment: Dict[str, int] = {}
         self._ivfpq_ready = False
+        # Serialises writers (streaming appends) and the one-time global
+        # IVF-PQ train against each other; searches stay lock-free except
+        # for the brief flush check.
+        self._write_lock = threading.RLock()
 
     @property
     def name(self) -> str:
@@ -153,40 +158,57 @@ class ShardedCollection:
         if metadata is not None and len(metadata) != len(ids):
             raise VectorDatabaseError("metadata length must match ids length")
         batch_ids = [str(external_id) for external_id in ids]
-        seen = set()
-        for external_id in batch_ids:
-            if external_id in self._global_position or external_id in seen:
-                raise VectorDatabaseError(
-                    f"Duplicate id {external_id!r} in collection {self._name!r}"
-                )
-            seen.add(external_id)
+        with self._write_lock:
+            seen = set()
+            for external_id in batch_ids:
+                if external_id in self._global_position or external_id in seen:
+                    raise VectorDatabaseError(
+                        f"Duplicate id {external_id!r} in collection {self._name!r}"
+                    )
+                seen.add(external_id)
 
-        assignments = self._partitioner.assign(batch_ids, data)
-        if assignments.shape[0] != len(batch_ids):
-            raise ShardError("Partitioner returned a misaligned assignment array")
-        for shard in range(self.num_shards):
-            positions = np.nonzero(assignments == shard)[0]
-            if positions.size == 0:
-                continue
-            self._primaries[shard].insert(
-                [batch_ids[int(p)] for p in positions],
-                data[positions],
-                [metadata[int(p)] for p in positions] if metadata is not None else None,
-            )
-        for position, external_id in enumerate(batch_ids):
-            self._global_position[external_id] = len(self._order)
-            self._order.append(external_id)
-            self._assignment[external_id] = int(assignments[position])
+            assignments = self._partitioner.assign(batch_ids, data)
+            if assignments.shape[0] != len(batch_ids):
+                raise ShardError("Partitioner returned a misaligned assignment array")
+            # Global bookkeeping is published *before* the vectors reach the
+            # per-shard collections: a racing search that already sees a new
+            # vector then resolves its merge tie-break to the final global
+            # position, never the end-of-order fallback.
+            start = len(self._order)
+            for position, external_id in enumerate(batch_ids):
+                self._global_position[external_id] = start + position
+                self._order.append(external_id)
+                self._assignment[external_id] = int(assignments[position])
+            try:
+                for shard in range(self.num_shards):
+                    positions = np.nonzero(assignments == shard)[0]
+                    if positions.size == 0:
+                        continue
+                    self._primaries[shard].insert(
+                        [batch_ids[int(p)] for p in positions],
+                        data[positions],
+                        [metadata[int(p)] for p in positions]
+                        if metadata is not None
+                        else None,
+                    )
+            except BaseException:
+                # A failed batch must not leave ghost bookkeeping behind.
+                for external_id in batch_ids:
+                    self._global_position.pop(external_id, None)
+                    self._assignment.pop(external_id, None)
+                del self._order[start:]
+                raise
 
     def flush(self) -> None:
         """Build every shard index (IVF-PQ: global train, then split per shard)."""
         if self.num_entities == 0:
             return
-        if self._config.index_type == "ivfpq" and not self._ivfpq_ready:
-            self._build_ivfpq_from_global_train()
-        for collection in self._primaries:
-            if collection.num_entities:
-                collection.flush()
+        with self._write_lock:
+            if self._config.index_type == "ivfpq" and not self._ivfpq_ready:
+                self._build_ivfpq_from_global_train()
+            for collection in self._primaries:
+                if collection.num_entities:
+                    collection.flush()
 
     def _build_ivfpq_from_global_train(self) -> None:
         """Train one global IVF-PQ index, then split its lists by shard.

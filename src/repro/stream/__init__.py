@@ -1,0 +1,27 @@
+"""Streaming ingest: live index appends, delta snapshots, standing queries.
+
+The subsystem turns LOVO's one-shot offline ingest into a continuously
+running pipeline:
+
+* :class:`~repro.stream.ingestor.StreamingIngestor` — background
+  encode→index stages over bounded queues with block/reject backpressure;
+  appended segments become queryable atomically and bit-exactly match
+  offline ingest of the same segments.
+* :class:`~repro.stream.subscriptions.SubscriptionManager` — standing
+  queries: register text + threshold, get matches pushed from each newly
+  indexed segment into a bounded per-subscriber buffer drained by long-poll.
+* :class:`~repro.persist.delta.DeltaSnapshotStore` (in :mod:`repro.persist`)
+  — base snapshot + ordered deltas recorded per segment, folded back into a
+  new base by ``compact()``.
+"""
+
+from repro.stream.ingestor import SegmentTicket, StreamingIngestor
+from repro.stream.subscriptions import MatchEvent, Subscription, SubscriptionManager
+
+__all__ = [
+    "MatchEvent",
+    "SegmentTicket",
+    "StreamingIngestor",
+    "Subscription",
+    "SubscriptionManager",
+]

@@ -8,6 +8,7 @@ and carries an optional metadata dict per entity for convenience.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Type
@@ -81,6 +82,7 @@ class VectorCollection:
         self._metadata: List[Mapping[str, object]] = []
         self._vectors: List[np.ndarray] = []
         self._built = False
+        self._insert_lock = threading.RLock()
 
     @property
     def name(self) -> str:
@@ -128,20 +130,26 @@ class VectorCollection:
         if metadata is not None and len(metadata) != len(ids):
             raise VectorDatabaseError("metadata length must match ids length")
 
-        internal_ids: List[int] = []
-        for position, external_id in enumerate(ids):
-            if external_id in self._external_to_internal:
-                raise VectorDatabaseError(
-                    f"Duplicate id {external_id!r} in collection {self._name!r}"
-                )
-            internal = len(self._internal_to_external)
-            self._external_to_internal[external_id] = internal
-            self._internal_to_external.append(external_id)
-            self._metadata.append(dict(metadata[position]) if metadata is not None else {})
-            self._vectors.append(data[position])
-            internal_ids.append(internal)
-        self._index.add(internal_ids, data)
-        self._built = False
+        # Writers are serialised; concurrent searches stay lock-free.  The id
+        # maps and metadata are appended *before* the index sees the new
+        # internal ids, so any hit a racing search gets back from the index
+        # already resolves to a complete (external id, metadata, vector) row —
+        # never a torn read.
+        with self._insert_lock:
+            internal_ids: List[int] = []
+            for position, external_id in enumerate(ids):
+                if external_id in self._external_to_internal:
+                    raise VectorDatabaseError(
+                        f"Duplicate id {external_id!r} in collection {self._name!r}"
+                    )
+                internal = len(self._internal_to_external)
+                self._external_to_internal[external_id] = internal
+                self._internal_to_external.append(external_id)
+                self._metadata.append(dict(metadata[position]) if metadata is not None else {})
+                self._vectors.append(data[position])
+                internal_ids.append(internal)
+            self._index.add(internal_ids, data)
+            self._built = False
 
     def flush(self) -> None:
         """Build (train) the underlying index; called automatically on search."""

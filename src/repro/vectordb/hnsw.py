@@ -17,6 +17,7 @@ brute force.
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 import numpy as np
@@ -37,6 +38,7 @@ class HNSWIndex(VectorIndex):
         self._ef_search = self._config.hnsw_ef_search
         self._seed = seed
         self._rng = np.random.default_rng(seed)
+        self._write_lock = threading.Lock()
         self._level_multiplier = 1.0 / np.log(max(self._m, 2))
         self._vectors: List[np.ndarray] = []
         self._external_ids: List[int] = []
@@ -58,8 +60,13 @@ class HNSWIndex(VectorIndex):
         data = self._validate(vectors)
         if len(ids) != data.shape[0]:
             raise VectorDatabaseError(f"Got {len(ids)} ids for {data.shape[0]} vectors")
-        for external_id, vector in zip(ids, data):
-            self._insert(int(external_id), vector)
+        # Serialise writers: graph wiring is multi-step, and two interleaved
+        # inserts could cross-link half-constructed nodes.  Readers stay
+        # lock-free — every mutation in _insert publishes whole lists/values,
+        # so a concurrent search sees either the pre- or post-insert graph.
+        with self._write_lock:
+            for external_id, vector in zip(ids, data):
+                self._insert(int(external_id), vector)
 
     def build(self) -> None:
         """HNSW builds incrementally on insert; nothing further to do."""
@@ -223,10 +230,14 @@ class HNSWIndex(VectorIndex):
                 links = self._layers[layer].setdefault(neighbour, [])
                 links.append(node)
                 if len(links) > max_links:
-                    links.sort(
-                        key=lambda n: -float(self._vectors[neighbour] @ self._vectors[n])
-                    )
-                    del links[max_links:]
+                    # Prune into a fresh list and publish it with one dict
+                    # assignment: an in-place sort leaves the list empty while
+                    # it runs, which a concurrent beam search would observe.
+                    pruned = sorted(
+                        links,
+                        key=lambda n: -float(self._vectors[neighbour] @ self._vectors[n]),
+                    )[:max_links]
+                    self._layers[layer][neighbour] = pruned
             if neighbours:
                 current = neighbours[0]
 

@@ -20,6 +20,7 @@ candidates are then re-scored exactly with the reconstructed vectors (lines
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
@@ -27,7 +28,7 @@ import numpy as np
 
 from repro.config import IndexConfig
 from repro.errors import IndexNotBuiltError, SnapshotCorruptionError, VectorDatabaseError
-from repro.vectordb.base import IndexHit, VectorIndex
+from repro.vectordb.base import IndexHit, VectorIndex, exact_scores
 from repro.vectordb.kmeans import lloyd_kmeans
 from repro.vectordb.quantization import ProductQuantizer
 
@@ -40,25 +41,35 @@ class _InvertedList:
     codes: List[np.ndarray] = field(default_factory=list)
     _cached: tuple[np.ndarray, np.ndarray] | None = field(default=None, repr=False)
 
+    def extend(self, ids: Sequence[int], codes: Sequence[np.ndarray]) -> None:
+        """Append members and refresh the cached arrays in one step.
+
+        The cache is rebuilt here, by the (lock-holding) writer, rather than
+        lazily inside :meth:`as_arrays`: a concurrent search that raced the
+        lazy rebuild could pair a fresh id array with a stale code matrix.
+        Building the new tuple first and publishing it with a single
+        reference assignment keeps readers on a consistent point-in-time
+        view — either entirely before or entirely after this append.
+        """
+        self.ids.extend(ids)
+        self.codes.extend(codes)
+        self._cached = (np.asarray(self.ids, dtype=np.int64), np.vstack(self.codes))
+
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Id and code arrays, cached until the list grows.
+        """Id and code arrays; the cache is maintained by :meth:`extend`.
 
         Searches hit every probed list once per query, so materialising the
-        arrays on every call (the previous behaviour) made scan cost scale
-        with query count; the cache rebuilds only after an insert.
+        arrays on every call (the original behaviour) made scan cost scale
+        with query count.  Readers take one reference read — never a rebuild
+        that could race a concurrent append.
         """
-        if self._cached is None or self._cached[0].shape[0] != len(self.ids):
+        cached = self._cached
+        if cached is None:
             if not self.ids:
-                self._cached = (
-                    np.zeros(0, dtype=np.int64),
-                    np.zeros((0, 0), dtype=np.int32),
-                )
-            else:
-                self._cached = (
-                    np.asarray(self.ids, dtype=np.int64),
-                    np.vstack(self.codes),
-                )
-        return self._cached
+                return (np.zeros(0, dtype=np.int64), np.zeros((0, 0), dtype=np.int32))
+            cached = (np.asarray(self.ids, dtype=np.int64), np.vstack(self.codes))
+            self._cached = cached
+        return cached
 
 
 class IVFPQIndex(VectorIndex):
@@ -72,6 +83,7 @@ class IVFPQIndex(VectorIndex):
                 f"Dimension {dim} is not divisible by num_subspaces "
                 f"{self._config.num_subspaces}"
             )
+        self._insert_lock = threading.Lock()
         self._pending_ids: List[int] = []
         self._pending_vectors: List[np.ndarray] = []
         self._coarse_centroids: np.ndarray | None = None
@@ -213,11 +225,11 @@ class IVFPQIndex(VectorIndex):
             self._coarse_centroids[all_clusters[shortlist]]
             + self._quantizer.decode(all_codes[shortlist])
         )
-        exact_scores = reconstructed @ vector
+        rescored = reconstructed @ vector
 
-        order = np.lexsort((all_ids[shortlist], -exact_scores))[: min(k, shortlist.shape[0])]
+        order = np.lexsort((all_ids[shortlist], -rescored))[: min(k, shortlist.shape[0])]
         return [
-            IndexHit(id=int(all_ids[shortlist[i]]), score=float(exact_scores[i]))
+            IndexHit(id=int(all_ids[shortlist[i]]), score=float(rescored[i]))
             for i in order
         ]
 
@@ -321,14 +333,24 @@ class IVFPQIndex(VectorIndex):
         assert self._coarse_centroids is not None
         residuals = vectors - self._coarse_centroids[assignments]
         codes = self._quantizer.encode(residuals)
+        grouped: Dict[int, tuple[List[int], List[np.ndarray]]] = {}
         for identifier, cluster, code in zip(ids, assignments, codes):
-            entry = self._lists.setdefault(int(cluster), _InvertedList())
-            entry.ids.append(int(identifier))
-            entry.codes.append(code)
+            member_ids, member_codes = grouped.setdefault(int(cluster), ([], []))
+            member_ids.append(int(identifier))
+            member_codes.append(code)
+        for cluster, (member_ids, member_codes) in grouped.items():
+            entry = self._lists.setdefault(cluster, _InvertedList())
+            entry.extend(member_ids, member_codes)
         self._count += len(ids)
 
     def _insert_built(self, ids: List[int], vectors: np.ndarray) -> None:
         assert self._coarse_centroids is not None
-        scores = vectors @ self._coarse_centroids.T
-        assignments = scores.argmax(axis=1)
-        self._fill_lists(ids, vectors, assignments)
+        # Scoring through the fixed GEMM tiles of exact_scores keeps the
+        # assignment of every appended vector independent of the append batch
+        # shape, so streamed appends land in exactly the lists an offline
+        # sequence of the same inserts would fill (and so do sharded appends
+        # relative to the unsharded index).
+        scores = exact_scores(self._coarse_centroids, vectors)
+        assignments = scores.argmax(axis=0)
+        with self._insert_lock:
+            self._fill_lists(ids, vectors, assignments)

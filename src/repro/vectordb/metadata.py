@@ -11,6 +11,7 @@ bounding box, and frame → all of its patch detections.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -56,13 +57,19 @@ class MetadataStore:
 
     def __init__(self, path: str | Path | None = None) -> None:
         self._path = str(path) if path is not None else ":memory:"
-        self._connection = sqlite3.connect(self._path)
+        # Streaming ingest writes from a background worker thread while query
+        # threads read, so the connection must be shareable across threads;
+        # the lock serialises every statement on it (sqlite3 connections are
+        # not safe for genuinely concurrent use even with the check off).
+        self._connection = sqlite3.connect(self._path, check_same_thread=False)
+        self._lock = threading.RLock()
         self._connection.execute("PRAGMA journal_mode = MEMORY")
         self._create_tables()
 
     def close(self) -> None:
         """Close the underlying SQLite connection."""
-        self._connection.close()
+        with self._lock:
+            self._connection.close()
 
     def __enter__(self) -> "MetadataStore":
         return self
@@ -71,7 +78,7 @@ class MetadataStore:
         self.close()
 
     def _create_tables(self) -> None:
-        with self._connection:
+        with self._lock, self._connection:
             self._connection.execute(
                 """
                 CREATE TABLE IF NOT EXISTS frames (
@@ -108,7 +115,7 @@ class MetadataStore:
             (record.frame_id, record.video_id, record.frame_index, record.timestamp)
             for record in frames
         ]
-        with self._connection:
+        with self._lock, self._connection:
             self._connection.executemany(
                 "INSERT OR REPLACE INTO frames VALUES (?, ?, ?, ?)", rows
             )
@@ -129,19 +136,26 @@ class MetadataStore:
             )
             for record in patches
         ]
-        with self._connection:
+        with self._lock, self._connection:
             self._connection.executemany(
                 "INSERT OR REPLACE INTO patches VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)", rows
             )
 
+    def _fetchone(self, sql: str, params: tuple = ()) -> tuple | None:
+        with self._lock:
+            return self._connection.execute(sql, params).fetchone()
+
+    def _fetchall(self, sql: str, params: tuple = ()) -> List[tuple]:
+        with self._lock:
+            return self._connection.execute(sql, params).fetchall()
+
     def get_patch(self, patch_id: str) -> PatchRecord:
         """Fetch one patch record; raises :class:`MetadataError` if missing."""
-        cursor = self._connection.execute(
+        row = self._fetchone(
             "SELECT patch_id, frame_id, video_id, patch_index, x, y, w, h, objectness "
             "FROM patches WHERE patch_id = ?",
             (patch_id,),
         )
-        row = cursor.fetchone()
         if row is None:
             raise MetadataError(f"Patch {patch_id!r} not found in metadata store")
         return self._row_to_patch(row)
@@ -152,20 +166,19 @@ class MetadataStore:
 
     def patches_for_frame(self, frame_id: str) -> List[PatchRecord]:
         """All patch records stored for a frame, ordered by patch index."""
-        cursor = self._connection.execute(
+        rows = self._fetchall(
             "SELECT patch_id, frame_id, video_id, patch_index, x, y, w, h, objectness "
             "FROM patches WHERE frame_id = ? ORDER BY patch_index",
             (frame_id,),
         )
-        return [self._row_to_patch(row) for row in cursor.fetchall()]
+        return [self._row_to_patch(row) for row in rows]
 
     def get_frame(self, frame_id: str) -> Optional[FrameRecord]:
         """Fetch a frame record, or ``None`` if it was never stored."""
-        cursor = self._connection.execute(
+        row = self._fetchone(
             "SELECT frame_id, video_id, frame_index, timestamp FROM frames WHERE frame_id = ?",
             (frame_id,),
         )
-        row = cursor.fetchone()
         if row is None:
             return None
         return FrameRecord(
@@ -174,32 +187,33 @@ class MetadataStore:
 
     def list_frames(self) -> List[FrameRecord]:
         """All stored key frames ordered by video and frame index."""
-        cursor = self._connection.execute(
-            "SELECT frame_id, video_id, frame_index, timestamp FROM frames "
-            "ORDER BY video_id, frame_index"
-        )
         return [
             FrameRecord(frame_id=row[0], video_id=row[1], frame_index=int(row[2]), timestamp=float(row[3]))
-            for row in cursor.fetchall()
+            for row in self._fetchall(
+                "SELECT frame_id, video_id, frame_index, timestamp FROM frames "
+                "ORDER BY video_id, frame_index"
+            )
         ]
 
     def count_patches(self) -> int:
         """Number of patch records stored."""
-        cursor = self._connection.execute("SELECT COUNT(*) FROM patches")
-        return int(cursor.fetchone()[0])
+        row = self._fetchone("SELECT COUNT(*) FROM patches")
+        assert row is not None
+        return int(row[0])
 
     def count_frames(self) -> int:
         """Number of key-frame records stored."""
-        cursor = self._connection.execute("SELECT COUNT(*) FROM frames")
-        return int(cursor.fetchone()[0])
+        row = self._fetchone("SELECT COUNT(*) FROM frames")
+        assert row is not None
+        return int(row[0])
 
     def list_patches(self) -> List[PatchRecord]:
         """All stored patch records ordered by frame and patch index."""
-        cursor = self._connection.execute(
+        rows = self._fetchall(
             "SELECT patch_id, frame_id, video_id, patch_index, x, y, w, h, objectness "
             "FROM patches ORDER BY frame_id, patch_index, patch_id"
         )
-        return [self._row_to_patch(row) for row in cursor.fetchall()]
+        return [self._row_to_patch(row) for row in rows]
 
     def to_arrays(self) -> Dict[str, np.ndarray]:
         """Columnar array form of every frame and patch record.
@@ -282,7 +296,7 @@ class MetadataStore:
                 arrays["patch_objectness"].tolist(),
             )
         ]
-        with store._connection:
+        with store._lock, store._connection:
             store._connection.executemany(
                 "INSERT OR REPLACE INTO frames VALUES (?, ?, ?, ?)", frame_rows
             )
