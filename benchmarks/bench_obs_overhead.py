@@ -1,28 +1,48 @@
-"""Observability overhead: served throughput with tracing on vs off.
+"""Observability overhead: served throughput with tracing and sampling on/off.
 
 Tracing promises to be cheap enough to leave on in production: every span is
 a contextvar read plus a lock-guarded append, recorded only on the request's
-own path.  This benchmark serves the same concurrent workload against two
-identically ingested sharded systems — one with :class:`~repro.config.ObsConfig`
-enabled (the default), one disabled — and compares queries/sec.
+own path.  The quality layer makes the same promise — shadow-recall sampling
+runs in a background worker behind a drop-on-full queue, and EXPLAIN reports
+are assembled from data the pass already recorded.  This benchmark serves
+the same concurrent workload against three identically ingested sharded
+systems:
 
-Rounds are interleaved with the order flipped every round (off/on, on/off,
-...) so machine noise hits both configurations equally, and the sides are
-compared on aggregate throughput across all rounds — individual short rounds
-swing ±20% with scheduler noise, which the aggregate averages out.
+* ``disabled`` — :class:`~repro.config.ObsConfig` off entirely;
+* ``enabled`` — tracing + metrics on (the default), no shadow sampling;
+* ``shadow`` — tracing on **plus** 5% shadow-recall sampling, with every
+  client requesting a per-query EXPLAIN report (``options.explain=true``).
 
-The acceptance gate: tracing-enabled throughput must stay within 5% of
-tracing-disabled throughput (``enabled >= 0.95 * disabled``).
+The three sides serve the **same concurrent workload simultaneously**:
+every round starts one client pool per side behind a shared barrier, so
+scheduler and background-load noise is common-mode — it slows all sides at
+the same instant and cancels out of the gated ratios.  (Sequentially
+interleaved rounds do not achieve this: load bursts here outlast a round
+and wipe out whichever side happens to be running, swinging per-round
+wall-clock QPS by ±25%.)  The sides are compared on pooled per-request
+client-observed latency: served throughput per side is derived by Little's
+law (``clients / mean latency`` at fixed per-side concurrency) and served
+p50 is the pooled median.
+
+Acceptance gates:
+
+* tracing: ``enabled >= 0.95 * disabled`` QPS (PR 5's original gate);
+* quality layer: ``shadow >= 0.95 * enabled`` QPS and served p50 with 5%
+  sampling at most ``1.05x`` the unsampled p50;
+* accuracy: the shadow-sampled online recall@10 estimate lands within
+  ±0.05 of ground-truth recall computed by full exact re-scoring.
 """
 
 from __future__ import annotations
 
+import statistics
 import threading
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro import LOVO, LOVOConfig, ObsConfig, ServeConfig
 from repro.config import IndexConfig, KeyframeConfig, QueryConfig, ShardConfig
+from repro.core.query import QueryOptions
 from repro.eval.reporting import format_table
 from repro.eval.workloads import queries_for_dataset
 from repro.serve import ServingEngine
@@ -31,12 +51,20 @@ from conftest import BENCH_ENCODER, report
 
 NUM_CLIENTS = 8
 QUERIES_PER_CLIENT = 16
-ROUNDS_PER_SIDE = 3
+ROUNDS_PER_SIDE = 5
 DATASET = "bellevue"
 NUM_VIDEOS = 1
 FRAMES_PER_VIDEO = 200
-#: The gate: tracing-enabled QPS must be at least this fraction of disabled.
+#: Shadow-sampling rate of the ``shadow`` side (the acceptance criterion's 5%).
+SHADOW_SAMPLE_RATE = 0.05
+#: Gate: each instrumented side must keep this fraction of its baseline QPS.
 MIN_RELATIVE_QPS = 0.95
+#: Gate: served p50 with sampling on may grow at most this much.
+MAX_RELATIVE_P50 = 1.05
+#: Gate: |online recall estimate - ground truth| must stay within this.
+MAX_RECALL_ERROR = 0.05
+
+SIDES = ("disabled", "enabled", "shadow")
 
 SERVE_CONFIG = ServeConfig(
     num_workers=2,
@@ -47,15 +75,20 @@ SERVE_CONFIG = ServeConfig(
 )
 
 
-def _obs_lovo_config(enabled: bool) -> LOVOConfig:
+def _obs_lovo_config(side: str) -> LOVOConfig:
     """A sharded configuration (so tracing crosses the scatter fan-out)."""
+    obs = {
+        "disabled": ObsConfig(enabled=False),
+        "enabled": ObsConfig(enabled=True),
+        "shadow": ObsConfig(enabled=True, shadow_sample_rate=SHADOW_SAMPLE_RATE),
+    }[side]
     return LOVOConfig(
         encoder=BENCH_ENCODER,
         keyframes=KeyframeConfig(strategy="mvmed", uniform_stride=10),
         index=IndexConfig(index_type="flat"),
         query=QueryConfig(),
         shard=ShardConfig(num_shards=2),
-        obs=ObsConfig(enabled=enabled),
+        obs=obs,
     )
 
 
@@ -64,77 +97,137 @@ def _tiled_queries(count: int) -> List[str]:
     return (texts * (count // len(texts) + 1))[:count]
 
 
-def _served_qps(engine: ServingEngine) -> float:
-    """Queries/sec for one round of the concurrent client workload."""
+def _served_round(
+    engines: Dict[str, ServingEngine],
+    client_options: Dict[str, Optional[QueryOptions]],
+) -> Dict[str, List[float]]:
+    """One simultaneous round: every side's client pool behind one barrier.
+
+    Returns per-side per-request client-observed latencies in seconds.
+    Running the sides at the same instant makes machine noise common-mode,
+    so it cancels out of the relative gates.
+    """
     client_texts = _tiled_queries(QUERIES_PER_CLIENT)
     errors: List[BaseException] = []
+    latencies: Dict[str, List[float]] = {side: [] for side in engines}
+    lock = threading.Lock()
+    barrier = threading.Barrier(NUM_CLIENTS * len(engines))
 
-    def client(offset: int) -> None:
+    def client(side: str, offset: int) -> None:
         try:
             rotation = client_texts[offset:] + client_texts[:offset]
+            engine = engines[side]
+            options = client_options[side]
+            local: List[float] = []
+            barrier.wait()
             for text in rotation:
-                engine.query(text, timeout=120.0)
+                begin = time.perf_counter()
+                engine.query(text, timeout=120.0, options=options)
+                local.append(time.perf_counter() - begin)
+            with lock:
+                latencies[side].extend(local)
         except BaseException as error:  # noqa: BLE001 - surfaced below
             errors.append(error)
 
     threads = [
-        threading.Thread(target=client, args=(i % len(client_texts),))
+        threading.Thread(target=client, args=(side, i % len(client_texts)))
+        for side in engines
         for i in range(NUM_CLIENTS)
     ]
-    start = time.perf_counter()
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
-    elapsed = time.perf_counter() - start
     if errors:
         raise errors[0]
-    return (NUM_CLIENTS * QUERIES_PER_CLIENT) / elapsed
+    return latencies
+
+
+def _ground_truth_recall(system: LOVO, k: int) -> float:
+    """Mean recall@k of served fast search vs a full exact re-scan."""
+    encoder = system.text_encoder
+    recalls = []
+    for text in _tiled_queries(QUERIES_PER_CLIENT):
+        served = system.query(text).metadata["fast_search"]["hits"]
+        effective_k = min(k, len(served))
+        vector = encoder.encode(encoder.parse(text))
+        exact = system.storage.search(vector, effective_k, use_ann=False)
+        served_top_k = {patch_id for patch_id, _ in served[:effective_k]}
+        recalls.append(sum(1 for hit in exact if hit.id in served_top_k) / len(exact))
+    return sum(recalls) / len(recalls)
 
 
 def run_obs_overhead(bench_env) -> Dict[str, object]:
-    """Best-of-N interleaved served QPS, tracing disabled vs enabled."""
+    """Interleaved served QPS: obs disabled vs enabled vs enabled+sampling."""
     dataset = bench_env.dataset(DATASET, NUM_VIDEOS, FRAMES_PER_VIDEO)
     systems = {}
-    for label, enabled in (("disabled", False), ("enabled", True)):
-        system = LOVO(_obs_lovo_config(enabled))
+    for side in SIDES:
+        system = LOVO(_obs_lovo_config(side))
         system.ingest(dataset)
-        systems[label] = system
+        systems[side] = system
 
-    rounds: Dict[str, List[float]] = {"disabled": [], "enabled": []}
+    # The shadow side's clients also request EXPLAIN reports, so the gate
+    # covers report assembly plus sampling, not sampling alone.
+    client_options = {
+        "disabled": None,
+        "enabled": None,
+        "shadow": QueryOptions(explain=True),
+    }
+
+    rounds: Dict[str, List[float]] = {side: [] for side in SIDES}
+    latencies: Dict[str, List[float]] = {side: [] for side in SIDES}
     engines = {
-        label: ServingEngine(system, SERVE_CONFIG).start()
-        for label, system in systems.items()
+        side: ServingEngine(system, SERVE_CONFIG).start()
+        for side, system in systems.items()
     }
     try:
-        # Warm one round per side (thread pools, allocator), then measure
-        # interleaved with the order flipped every round, so neither side
-        # systematically benefits from running first or last.
-        for label in ("disabled", "enabled"):
-            _served_qps(engines[label])
-        for round_index in range(ROUNDS_PER_SIDE):
-            order = ("disabled", "enabled") if round_index % 2 == 0 else (
-                "enabled", "disabled")
-            for label in order:
-                rounds[label].append(_served_qps(engines[label]))
+        # One simultaneous warm round (thread pools, allocator), then the
+        # measured rounds — every side serving at the same instant.
+        _served_round(engines, client_options)
+        for _ in range(ROUNDS_PER_SIDE):
+            observed = _served_round(engines, client_options)
+            for side in SIDES:
+                round_mean = statistics.fmean(observed[side])
+                rounds[side].append(NUM_CLIENTS / round_mean)
+                latencies[side].extend(observed[side])
         traced = engines["enabled"].tracer.store.stats()
+        sampler = engines["shadow"].quality
+        assert sampler is not None
+        sampler.flush(timeout=60.0)
+        quality = sampler.stats()
+        explained = engines["shadow"].explain_store.stats()["stored"]
     finally:
         for engine in engines.values():
             engine.stop()
 
-    # Aggregate (not best-of): total queries over total measured time per
-    # side, which is what the interleaving makes comparable.
-    aggregate = {
-        label: len(values) / sum(1.0 / qps for qps in values)
-        for label, values in rounds.items()
+    recall_truth = _ground_truth_recall(systems["shadow"], k=sampler.recall_k)
+    families = quality["families"]
+    (family_stats,) = families.values()  # one family: sharded flat
+
+    # Gate estimators from the pooled per-request latencies: throughput by
+    # Little's law at fixed per-side concurrency, p50 as the pooled median.
+    # The sides measured these under identical instantaneous machine load.
+    throughput = {
+        side: NUM_CLIENTS / statistics.fmean(values)
+        for side, values in latencies.items()
+    }
+    p50 = {
+        side: statistics.median(values) * 1000.0
+        for side, values in latencies.items()
     }
     return {
-        "disabled_qps": aggregate["disabled"],
-        "enabled_qps": aggregate["enabled"],
-        "relative": aggregate["enabled"] / aggregate["disabled"],
-        "rounds_disabled": rounds["disabled"],
-        "rounds_enabled": rounds["enabled"],
+        "qps": throughput,
+        "rounds": rounds,
+        "relative_enabled": throughput["enabled"] / throughput["disabled"],
+        "relative_shadow": throughput["shadow"] / throughput["enabled"],
+        "p50_enabled_ms": p50["enabled"],
+        "p50_shadow_ms": p50["shadow"],
+        "relative_p50": p50["shadow"] / max(p50["enabled"], 1e-9),
         "traces_stored": traced["stored"],
+        "shadow_samples": family_stats["samples"],
+        "recall_estimate": family_stats["recall_at_k"],
+        "recall_truth": recall_truth,
+        "explain_reports": explained,
     }
 
 
@@ -145,31 +238,50 @@ def test_obs_overhead(benchmark, bench_env):
 
     rows = [
         [
-            "disabled",
-            f"{results['disabled_qps']:.1f}",
-            ", ".join(f"{qps:.1f}" for qps in results["rounds_disabled"]),
-        ],
-        [
-            "enabled",
-            f"{results['enabled_qps']:.1f}",
-            ", ".join(f"{qps:.1f}" for qps in results["rounds_enabled"]),
-        ],
+            side,
+            f"{results['qps'][side]:.1f}",
+            ", ".join(f"{qps:.1f}" for qps in results["rounds"][side]),
+        ]
+        for side in SIDES
     ]
     table = format_table(
-        ["tracing", "aggregate (q/s)", "rounds (q/s)"],
+        ["obs", "served (q/s)", "rounds (q/s)"],
         rows,
         title=(
-            f"Observability overhead ({NUM_CLIENTS} concurrent clients, sharded, "
-            f"relative {results['relative']:.3f}, "
-            f"{results['traces_stored']} traces stored)"
+            f"Observability overhead ({NUM_CLIENTS} concurrent clients, sharded; "
+            f"tracing {results['relative_enabled']:.3f}x, "
+            f"shadow+explain {results['relative_shadow']:.3f}x, "
+            f"p50 {results['relative_p50']:.3f}x; "
+            f"recall estimate {results['recall_estimate']:.3f} "
+            f"vs truth {results['recall_truth']:.3f} "
+            f"over {results['shadow_samples']} samples; "
+            f"{results['traces_stored']} traces, "
+            f"{results['explain_reports']} explain reports)"
         ),
     )
     report("obs_overhead", table)
 
-    # Acceptance gate: tracing must cost at most 5% served throughput.
-    assert results["relative"] >= MIN_RELATIVE_QPS, (
-        f"tracing-enabled throughput {results['enabled_qps']:.1f} q/s is below "
-        f"{MIN_RELATIVE_QPS:.2f}x of disabled {results['disabled_qps']:.1f} q/s"
+    # Gate 1: tracing must cost at most 5% served throughput.
+    assert results["relative_enabled"] >= MIN_RELATIVE_QPS, (
+        f"tracing-enabled throughput {results['qps']['enabled']:.1f} q/s is below "
+        f"{MIN_RELATIVE_QPS:.2f}x of disabled {results['qps']['disabled']:.1f} q/s"
     )
-    # Sanity: the enabled side actually traced the workload.
+    # Gate 2: 5% shadow sampling + explain must also cost at most 5%.
+    assert results["relative_shadow"] >= MIN_RELATIVE_QPS, (
+        f"shadow-sampling throughput {results['qps']['shadow']:.1f} q/s is below "
+        f"{MIN_RELATIVE_QPS:.2f}x of enabled {results['qps']['enabled']:.1f} q/s"
+    )
+    # Gate 3: served p50 with sampling stays within 1.05x of unsampled.
+    assert results["relative_p50"] <= MAX_RELATIVE_P50, (
+        f"p50 with 5% sampling {results['p50_shadow_ms']:.1f} ms exceeds "
+        f"{MAX_RELATIVE_P50:.2f}x of unsampled {results['p50_enabled_ms']:.1f} ms"
+    )
+    # Gate 4: the online recall estimate agrees with exact re-scoring.
+    assert results["shadow_samples"] > 0, "no shadow samples were processed"
+    assert abs(results["recall_estimate"] - results["recall_truth"]) <= MAX_RECALL_ERROR, (
+        f"online recall estimate {results['recall_estimate']:.3f} deviates more "
+        f"than {MAX_RECALL_ERROR} from ground truth {results['recall_truth']:.3f}"
+    )
+    # Sanity: the instrumented sides actually traced and explained.
     assert results["traces_stored"] > 0
+    assert results["explain_reports"] > 0

@@ -344,6 +344,33 @@ class ObsConfig:
         max_spans_per_trace: Per-trace span budget; spans beyond it are
             counted (``dropped_spans``) instead of stored, bounding memory
             under pathological fan-out.
+        shadow_sample_rate: Fraction of served queries re-run through an
+            exact flat scan by the background shadow sampler
+            (:class:`~repro.obs.quality.ShadowSampler`) to estimate online
+            recall.  ``0.0`` (the default) disables shadow sampling.
+        shadow_recall_k: The ``k`` of the shadow sampler's recall@k /
+            rank-displacement estimates.
+        shadow_queue_size: Bounded hand-off queue between the serving path
+            and the shadow worker; a full queue *drops* the sample (counted)
+            instead of blocking a served query.
+        shadow_window: Number of most-recent shadow samples the windowed
+            recall / margin / displacement estimates aggregate over.
+        drift_threshold: How many reference standard deviations a windowed
+            mean (shadow score distribution, streamed embedding norms) may
+            move before a drift alert is counted.
+        history_interval_seconds: Period of the metrics-history ticker that
+            snapshots the registry into the bounded time-series ring.
+        history_capacity: Number of snapshots the history ring retains
+            (``capacity * interval`` is the lookback window).
+        slo_latency_ms: Latency SLO threshold: a request is "fast" when it
+            completes within this many milliseconds.
+        slo_latency_target: Fraction of requests that must be fast.
+        slo_availability_target: Fraction of requests that must succeed
+            (not error and not be rejected by admission control).
+        slo_recall_target: Shadow-sampled recall@k each sample must reach.
+        slo_fast_window_seconds: The short burn-rate evaluation window.
+        slo_slow_window_seconds: The long burn-rate evaluation window.
+        slo_max_events: Bounded per-SLO event retention (oldest evicted).
     """
 
     enabled: bool = True
@@ -351,6 +378,20 @@ class ObsConfig:
     slow_query_ms: float = 250.0
     slow_log_size: int = 64
     max_spans_per_trace: int = 512
+    shadow_sample_rate: float = 0.0
+    shadow_recall_k: int = 10
+    shadow_queue_size: int = 64
+    shadow_window: int = 256
+    drift_threshold: float = 4.0
+    history_interval_seconds: float = 10.0
+    history_capacity: int = 360
+    slo_latency_ms: float = 250.0
+    slo_latency_target: float = 0.99
+    slo_availability_target: float = 0.999
+    slo_recall_target: float = 0.8
+    slo_fast_window_seconds: float = 60.0
+    slo_slow_window_seconds: float = 600.0
+    slo_max_events: int = 4096
 
     def __post_init__(self) -> None:
         if self.trace_store_size <= 0:
@@ -361,6 +402,34 @@ class ObsConfig:
             raise ConfigurationError("slow_log_size must be positive")
         if self.max_spans_per_trace <= 0:
             raise ConfigurationError("max_spans_per_trace must be positive")
+        if not 0.0 <= self.shadow_sample_rate <= 1.0:
+            raise ConfigurationError("shadow_sample_rate must lie in [0, 1]")
+        if self.shadow_recall_k <= 0:
+            raise ConfigurationError("shadow_recall_k must be positive")
+        if self.shadow_queue_size <= 0:
+            raise ConfigurationError("shadow_queue_size must be positive")
+        if self.shadow_window <= 0:
+            raise ConfigurationError("shadow_window must be positive")
+        if self.drift_threshold <= 0:
+            raise ConfigurationError("drift_threshold must be positive")
+        if self.history_interval_seconds <= 0:
+            raise ConfigurationError("history_interval_seconds must be positive")
+        if self.history_capacity <= 0:
+            raise ConfigurationError("history_capacity must be positive")
+        if self.slo_latency_ms <= 0:
+            raise ConfigurationError("slo_latency_ms must be positive")
+        for name in ("slo_latency_target", "slo_availability_target", "slo_recall_target"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ConfigurationError(f"{name} must lie strictly between 0 and 1")
+        if self.slo_fast_window_seconds <= 0 or self.slo_slow_window_seconds <= 0:
+            raise ConfigurationError("SLO windows must be positive")
+        if self.slo_fast_window_seconds > self.slo_slow_window_seconds:
+            raise ConfigurationError(
+                "slo_fast_window_seconds cannot exceed slo_slow_window_seconds"
+            )
+        if self.slo_max_events <= 0:
+            raise ConfigurationError("slo_max_events must be positive")
 
 
 @dataclass(frozen=True)

@@ -46,10 +46,17 @@ class QueryOptions:
     is frozen and hashable so it can key caches and batch groups directly,
     and it is deliberately shard/replica-invariant: nothing in here depends
     on how the backend is partitioned.
+
+    ``explain=True`` asks the serving layer for a per-query EXPLAIN report
+    (stage costs, search parameters, per-shard candidate counts, score
+    margins); it never changes the query's *answer*, but the serving engine
+    bypasses its result cache for explain requests so the reported pass is
+    the one that actually ran.
     """
 
     top_n: Optional[int] = None
     fast_search_k: Optional[int] = None
+    explain: bool = False
 
     def __post_init__(self) -> None:
         for name in ("top_n", "fast_search_k"):
@@ -58,6 +65,8 @@ class QueryOptions:
                 continue
             if isinstance(value, bool) or not isinstance(value, int) or value <= 0:
                 raise QueryError(f"QueryOptions.{name} must be a positive integer or None")
+        if not isinstance(self.explain, bool):
+            raise QueryError("QueryOptions.explain must be a boolean")
 
     def resolved(self, config: QueryConfig) -> Tuple[int, int]:
         """The effective ``(fast_search_k, top_n)`` under a query config."""
@@ -66,13 +75,15 @@ class QueryOptions:
             self.top_n or config.rerank_n,
         )
 
-    def to_dict(self) -> Dict[str, int]:
-        """JSON-able form; defaulted (``None``) fields are omitted."""
-        payload: Dict[str, int] = {}
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form; defaulted (``None``/``False``) fields are omitted."""
+        payload: Dict[str, object] = {}
         if self.top_n is not None:
             payload["top_n"] = self.top_n
         if self.fast_search_k is not None:
             payload["fast_search_k"] = self.fast_search_k
+        if self.explain:
+            payload["explain"] = True
         return payload
 
     @classmethod
@@ -82,12 +93,16 @@ class QueryOptions:
             return cls()
         if not isinstance(payload, Mapping):
             raise QueryError("Query options must be a JSON object")
-        unknown = set(payload) - {"top_n", "fast_search_k"}
+        unknown = set(payload) - {"top_n", "fast_search_k", "explain"}
         if unknown:
             raise QueryError(f"Unknown query option(s): {sorted(unknown)}")
+        explain = payload.get("explain", False)
+        if not isinstance(explain, bool):
+            raise QueryError("QueryOptions.explain must be a boolean")
         return cls(
             top_n=payload.get("top_n"),  # type: ignore[arg-type]
             fast_search_k=payload.get("fast_search_k"),  # type: ignore[arg-type]
+            explain=explain,
         )
 
 
@@ -130,6 +145,26 @@ class QueryRequest:
         if legacy_top_n is not None:
             options = _merge_top_n(options, legacy_top_n)
         return cls(text=text, options=options)
+
+
+#: How many fast-search patch hits ride along in each response's metadata.
+#: Enough for shadow-recall estimation (recall@k at the configured k) and the
+#: EXPLAIN score margins without bloating cached responses.
+FAST_SEARCH_PROVENANCE_CAP = 64
+
+
+def _fast_search_provenance(
+    patch_hits: Sequence[Tuple[str, float]], fast_k: int
+) -> Dict[str, object]:
+    """Served fast-search ranking, capped, for the quality/EXPLAIN layers."""
+    return {
+        "k": fast_k,
+        "num_hits": len(patch_hits),
+        "hits": [
+            (patch_id, float(score))
+            for patch_id, score in patch_hits[:FAST_SEARCH_PROVENANCE_CAP]
+        ],
+    }
 
 
 def _merge_top_n(options: QueryOptions, top_n: object) -> QueryOptions:
@@ -279,6 +314,7 @@ class QueryStrategy:
         response.metadata["num_candidates"] = len(candidate_frames)
         response.metadata["rerank_enabled"] = self._config.rerank_enabled
         response.metadata["ann_enabled"] = self._config.ann_enabled
+        response.metadata["fast_search"] = _fast_search_provenance(patch_hits, fast_k)
         return response
 
     def query_batch(
@@ -358,7 +394,7 @@ class QueryStrategy:
         share = {phase: seconds / num_queries for phase, seconds in batch_timings.items()}
         responses: List[QueryResponse] = []
         for text, parsed in zip(texts, parsed_list):
-            candidate_frames, _ = grouped[parsed]
+            candidate_frames, patch_hits = grouped[parsed]
             response = QueryResponse(
                 query=text,
                 results=list(results_by_query[parsed]),
@@ -369,6 +405,7 @@ class QueryStrategy:
             response.metadata["rerank_enabled"] = self._config.rerank_enabled
             response.metadata["ann_enabled"] = self._config.ann_enabled
             response.metadata["batched"] = True
+            response.metadata["fast_search"] = _fast_search_provenance(patch_hits, fast_k)
             responses.append(response)
         return BatchQueryResponse(
             queries=list(texts),

@@ -15,18 +15,39 @@ Three pieces, used together by the serving → shard → index stack:
   /v1/metrics``) and the mapping from engine stats and ingest phase totals
   to metric families.
 
+On top of those, the answer-quality and cost layer:
+
+* :mod:`repro.obs.quality` — :class:`~repro.obs.quality.ShadowSampler`
+  (online recall@k against an exact flat re-scan of sampled served queries)
+  and :class:`~repro.obs.quality.DriftMonitor` (embedding/score distribution
+  drift under streaming ingest);
+* :mod:`repro.obs.explain` — per-query EXPLAIN reports (stage costs, search
+  params, per-shard candidates, cache/epoch provenance, score margins) in a
+  bounded :class:`~repro.obs.explain.ExplainStore`;
+* :mod:`repro.obs.timeseries` — :class:`~repro.obs.timeseries.
+  MetricsHistory`, a bounded ring of windowed registry snapshots behind
+  ``GET /v1/metrics/history``;
+* :mod:`repro.obs.slo` — declarative latency/availability/recall SLOs with
+  multi-window burn-rate evaluation surfaced in ``/v1/healthz`` and
+  ``GET /v1/slo``.
+
 Tracing is on by default and disabled via ``LOVOConfig(obs=ObsConfig(
 enabled=False))``; when off, every instrumentation point is a no-op
 context-variable read.
 """
 
 from repro.config import ObsConfig
+from repro.obs.explain import ExplainStore, build_explain_report
 from repro.obs.exposition import (
     CONTENT_TYPE,
+    build_info_family,
     parse_exposition,
     render,
     service_families,
 )
+from repro.obs.quality import DriftMonitor, ShadowSampler
+from repro.obs.slo import RECALL_OBJECTIVE, SLODefinition, SLOTracker
+from repro.obs.timeseries import MetricsHistory, flatten_families
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -76,4 +97,14 @@ __all__ = [
     "render",
     "service_families",
     "parse_exposition",
+    "build_info_family",
+    "DriftMonitor",
+    "ShadowSampler",
+    "ExplainStore",
+    "build_explain_report",
+    "MetricsHistory",
+    "flatten_families",
+    "RECALL_OBJECTIVE",
+    "SLODefinition",
+    "SLOTracker",
 ]

@@ -47,15 +47,72 @@ def _render_sample(sample: Sample) -> str:
 
 
 def render(families: Iterable[MetricFamily]) -> str:
-    """Serialise metric families into Prometheus text exposition format."""
-    lines: List[str] = []
+    """Serialise metric families into Prometheus text exposition format.
+
+    Output is deterministic regardless of input order: families are emitted
+    sorted by name, and families sharing a name and kind (e.g. the same
+    counter collected from two registries) are merged into one ``# TYPE``
+    block — Prometheus rejects duplicate headers.  Inputs are not mutated.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
     for family in families:
-        if family.help:
-            lines.append(f"# HELP {family.name} {escape_help(family.help)}")
-        lines.append(f"# TYPE {family.name} {family.kind}")
-        for sample in family.samples:
+        entry = merged.get(family.name)
+        if entry is None or entry["kind"] != family.kind:
+            merged[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "samples": list(family.samples),
+            }
+        else:
+            entry["samples"].extend(family.samples)  # type: ignore[union-attr]
+            if not entry["help"]:
+                entry["help"] = family.help
+    lines: List[str] = []
+    for name in sorted(merged):
+        entry = merged[name]
+        if entry["help"]:
+            lines.append(f"# HELP {name} {escape_help(str(entry['help']))}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        for sample in entry["samples"]:  # type: ignore[union-attr]
             lines.append(_render_sample(sample))
     return "\n".join(lines) + "\n"
+
+
+def build_info_family() -> MetricFamily:
+    """The ``lovo_build_info`` gauge: version/runtime labels, value 1.
+
+    Imports are deferred so this module stays importable without pulling the
+    ``repro`` package top-level (avoiding an import cycle) or numpy at
+    module-import time.
+    """
+    import platform
+
+    try:
+        from importlib import metadata as importlib_metadata
+
+        version = importlib_metadata.version("repro")
+    except Exception:  # noqa: BLE001 - not installed as a distribution
+        try:
+            from repro import __version__ as version
+        except Exception:  # noqa: BLE001
+            version = "unknown"
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # noqa: BLE001
+        numpy_version = "unavailable"
+    labels = {
+        "version": str(version),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+    }
+    return MetricFamily(
+        "lovo_build_info",
+        "gauge",
+        "Build and runtime versions (constant 1; metadata in labels).",
+        [Sample("lovo_build_info", labels, 1.0)],
+    )
 
 
 def _counter(name: str, help: str, value: float) -> MetricFamily:

@@ -28,7 +28,7 @@ from concurrent.futures import Future
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.config import ServeConfig
+from repro.config import ObsConfig, ServeConfig
 from repro.core.query import QueryOptions, QueryRequest, as_query_request
 from repro.core.results import QueryResponse
 from repro.core.system import LOVO
@@ -37,8 +37,12 @@ from repro.errors import (
     ServingError,
     SystemNotReadyError,
 )
-from repro.obs.exposition import service_families
+from repro.obs.explain import ExplainStore, build_explain_report
+from repro.obs.exposition import build_info_family, service_families
+from repro.obs.quality import ShadowSampler
 from repro.obs.registry import REGISTRY, MetricFamily, MetricsRegistry
+from repro.obs.slo import SLOTracker
+from repro.obs.timeseries import MetricsHistory
 from repro.obs.trace import Tracer, activate
 from repro.serve.batcher import MicroBatcher, PendingQuery
 from repro.serve.cache import ResultCache
@@ -74,8 +78,31 @@ class ServingEngine:
             obs_config = getattr(getattr(system, "config", None), "obs", None)
             tracer = Tracer(obs_config)
         self._tracer = tracer
+        obs_config = getattr(getattr(system, "config", None), "obs", None)
+        if not isinstance(obs_config, ObsConfig):
+            obs_config = ObsConfig()
+        self._obs_config = obs_config
         self._registry = MetricsRegistry()
         self._registry.register_collector(self._collect_service_families)
+        # The answer-quality & cost layer: EXPLAIN retention, SLO burn rates,
+        # metrics history, and (when configured) shadow-recall sampling.
+        self._explain_store = ExplainStore()
+        self._slo = SLOTracker(obs_config, registry=self._registry)
+        self._history = MetricsHistory(
+            self.metric_families,
+            interval_seconds=obs_config.history_interval_seconds,
+            capacity=obs_config.history_capacity,
+        )
+        # Burn-rate gauges refresh on the history's cadence.
+        self._history.add_listener(self._slo.on_tick)
+        self._sampler: Optional[ShadowSampler] = None
+        if obs_config.shadow_sample_rate > 0.0:
+            self._sampler = ShadowSampler(
+                system,
+                obs_config,
+                registry=self._registry,
+                on_sample=self._slo.record_recall,
+            )
         self._workers: List[threading.Thread] = []
         self._lifecycle_lock = threading.Lock()
         self._running = False
@@ -118,6 +145,26 @@ class ServingEngine:
         """This engine's metrics registry (service families via collector)."""
         return self._registry
 
+    @property
+    def slo(self) -> SLOTracker:
+        """The SLO tracker (latency/availability/recall burn rates)."""
+        return self._slo
+
+    @property
+    def history(self) -> MetricsHistory:
+        """The bounded metrics-history ring behind ``/v1/metrics/history``."""
+        return self._history
+
+    @property
+    def explain_store(self) -> ExplainStore:
+        """Retained EXPLAIN reports behind ``/v1/explain/<trace_id>``."""
+        return self._explain_store
+
+    @property
+    def quality(self) -> Optional[ShadowSampler]:
+        """The shadow-recall sampler (``None`` unless a rate is configured)."""
+        return self._sampler
+
     def _data_epoch(self) -> int:
         """The system's current data version (0 for stand-ins without one)."""
         return int(getattr(self._system, "data_version", 0))
@@ -133,10 +180,13 @@ class ServingEngine:
         """Everything ``GET /v1/metrics`` exposes in one snapshot.
 
         Merges this engine's registry (service metrics, cache, backend
-        health, ingest phase totals) with the module-level registry the
-        shard router records its per-replica call metrics into.
+        health, ingest phase totals, recall/SLO instruments) with the
+        module-level registry the shard router records its per-replica call
+        metrics into, plus the constant ``lovo_build_info`` gauge.
         """
-        return self._registry.collect() + REGISTRY.collect()
+        return (
+            self._registry.collect() + REGISTRY.collect() + [build_info_family()]
+        )
 
     @property
     def streaming(self) -> "Optional[StreamingIngestor]":
@@ -188,6 +238,10 @@ class ServingEngine:
                 )
                 worker.start()
                 self._workers.append(worker)
+            if self._obs_config.enabled:
+                self._history.start()
+            if self._sampler is not None:
+                self._sampler.start()
             self._running = True
         return self
 
@@ -202,6 +256,11 @@ class ServingEngine:
         """
         if self._streaming is not None:
             self._streaming.stop(drain=drain, timeout=timeout)
+        # The shadow worker drains its queue on stop; the history ticker just
+        # exits.  Both are idempotent and safe to stop before ever starting.
+        if self._sampler is not None:
+            self._sampler.stop(timeout=timeout)
+        self._history.stop(timeout=timeout)
         with self._lifecycle_lock:
             if not self._running:
                 self._stopped = True
@@ -258,7 +317,10 @@ class ServingEngine:
 
         started = time.perf_counter()
         trace = self._tracer.start(query=text)
-        if self._cache is not None:
+        # EXPLAIN requests bypass the cache entirely (get *and* put, below):
+        # a cached response would carry the producing request's report, not
+        # an account of a pass that actually ran for this request.
+        if self._cache is not None and not coerced.options.explain:
             # Hit/miss accounting lives in the cache itself (the single
             # source of truth surfaced by stats()).  The lookup is pinned to
             # the system's current data epoch, so entries cached before an
@@ -277,6 +339,10 @@ class ServingEngine:
                     cached.metadata["trace_id"] = self._tracer.finish(
                         trace, cache_hit=True
                     )
+                self._slo.record_request(
+                    now - started, True,
+                    trace_id=cached.metadata.get("trace_id"),
+                )
                 future: "Future[QueryResponse]" = Future()
                 future.set_result(cached)
                 return future
@@ -295,6 +361,11 @@ class ServingEngine:
             # batcher (shutdown race) propagates as a plain ServingError.
             self._metrics.record_rejection()
             self._tracer.finish(trace, outcome="rejected")
+            self._slo.record_request(
+                time.perf_counter() - started, False,
+                trace_id=trace.trace_id if trace is not None else None,
+                outcome="rejected",
+            )
             raise
         except ServingError:
             self._tracer.finish(trace, outcome="closed")
@@ -387,6 +458,11 @@ class ServingEngine:
         snapshot["data_epoch"] = self._data_epoch()
         if self._streaming is not None:
             snapshot["streaming"] = self._streaming.stats()
+        snapshot["slo"] = self._slo.summary()
+        snapshot["history"] = self._history.stats()
+        snapshot["explain"] = self._explain_store.stats()
+        if self._sampler is not None:
+            snapshot["quality"] = self._sampler.stats()
         return snapshot
 
     def _backend_status(self) -> Dict[str, object]:
@@ -449,22 +525,56 @@ class ServingEngine:
                     [pending.text for pending in group], options=options
                 ).responses
         except BaseException as error:  # noqa: BLE001 - forwarded to callers
+            now = time.perf_counter()
             for pending in group:
                 self._metrics.record_error()
                 self._tracer.finish(
                     pending.trace, outcome="error", error=type(error).__name__
                 )
+                self._slo.record_request(
+                    now - pending.enqueued_at, False,
+                    trace_id=(
+                        pending.trace.trace_id if pending.trace is not None else None
+                    ),
+                    outcome="error",
+                )
                 pending.future.set_exception(error)
             return
         now = time.perf_counter()
         query_config = self._system.config.query
+        explain_backend = self._backend_status() if options.explain else None
         for pending, response in zip(group, responses):
-            if pending.trace is not None:
-                response.metadata["trace_id"] = pending.trace.trace_id
-            if self._cache is not None:
+            trace_id = pending.trace.trace_id if pending.trace is not None else None
+            if trace_id is not None:
+                response.metadata["trace_id"] = trace_id
+            if self._cache is not None and not options.explain:
                 self._cache.put_for(
                     pending.text, options, query_config, response, epoch=epoch
                 )
-            self._metrics.record_completion(now - pending.enqueued_at)
+            latency = now - pending.enqueued_at
+            self._metrics.record_completion(latency)
             self._tracer.finish(pending.trace)
+            self._slo.record_request(latency, True, trace_id=trace_id)
+            if self._sampler is not None:
+                self._sampler.maybe_sample(
+                    pending.text,
+                    response.metadata.get("fast_search"),
+                    epoch=epoch,
+                    trace_id=trace_id,
+                )
+            if options.explain:
+                # Built after tracer.finish so the trace's duration is set,
+                # and before the future resolves so the caller sees it.
+                report = build_explain_report(
+                    response,
+                    pending.trace,
+                    options=options,
+                    query_config=query_config,
+                    index_config=self._system.config.index,
+                    backend=explain_backend or {},
+                    epoch=epoch,
+                )
+                response.metadata["explain"] = report
+                if trace_id is not None:
+                    self._explain_store.put(trace_id, report)
             pending.future.set_result(response)

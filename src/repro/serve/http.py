@@ -23,6 +23,16 @@ Endpoints (all under ``/v1``):
   exposition format (service counters, latency summary, micro-batch
   histogram, cache, per-shard replica health, shard call latencies, ingest
   phase totals).
+* ``HEAD /v1/metrics`` — headers (content type/length) without the body,
+  for scrapers probing the endpoint.
+* ``GET /v1/metrics/history?limit=&prefix=`` — the bounded ring of windowed
+  registry snapshots (``repro.obs.timeseries``).
+* ``GET /v1/slo`` — the full multi-window SLO burn-rate evaluation
+  (latency, availability, shadow recall); ``/v1/healthz`` carries the
+  compact per-SLO status summary.
+* ``GET /v1/explain/<trace_id>`` — the retained EXPLAIN report of a query
+  served with ``options.explain=true`` (stage costs, search params,
+  per-shard candidates, cache/epoch provenance, score margins).
 * ``GET /v1/traces/<id>`` — one stored request trace (spans across queue
   wait, encode, per-shard search, merge, rerank).
 * ``GET /v1/traces/slow`` — the slow-query log (full traces above the
@@ -109,7 +119,7 @@ LEGACY_REDIRECTS = {
 
 def response_payload(response: QueryResponse) -> Dict[str, object]:
     """JSON-serialisable form of one query response."""
-    return {
+    payload: Dict[str, object] = {
         "query": response.query,
         "cache_hit": bool(response.metadata.get("cache_hit", False)),
         "trace_id": response.metadata.get("trace_id"),
@@ -117,6 +127,10 @@ def response_payload(response: QueryResponse) -> Dict[str, object]:
         "results": [result.as_dict() for result in response.results],
         "timings": dict(response.timings),
     }
+    explain = response.metadata.get("explain")
+    if explain is not None:
+        payload["explain"] = explain
+    return payload
 
 
 class LOVORequestHandler(BaseHTTPRequestHandler):
@@ -140,6 +154,14 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.server.engine.stats())
         elif path == f"{API_PREFIX}/metrics":
             self._guarded(self._handle_metrics)
+        elif path == f"{API_PREFIX}/metrics/history":
+            query = parse_qs(parts.query)
+            self._guarded(lambda: self._handle_metrics_history(query))
+        elif path == f"{API_PREFIX}/slo":
+            self._guarded(self._handle_slo)
+        elif path.startswith(f"{API_PREFIX}/explain/"):
+            trace_id = path[len(f"{API_PREFIX}/explain/"):]
+            self._guarded(lambda: self._handle_explain(trace_id))
         elif path == f"{API_PREFIX}/traces/slow":
             self._guarded(self._handle_slow_traces)
         elif path.startswith(f"{API_PREFIX}/traces/"):
@@ -170,6 +192,14 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
             self._guarded(self._handle_subscription_create)
         elif self.path in LEGACY_REDIRECTS:
             self._send_redirect(LEGACY_REDIRECTS[self.path])
+        else:
+            self._send_error(404, "not_found", f"Unknown path {self.path!r}")
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        self._request_id = self._resolve_request_id()
+        path = urlsplit(self.path).path
+        if path == f"{API_PREFIX}/metrics":
+            self._guarded(lambda: self._handle_metrics(head=True))
         else:
             self._send_error(404, "not_found", f"Unknown path {self.path!r}")
 
@@ -219,6 +249,7 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
                 "datasets": system.ingested_datasets,
                 "index_type": system.storage.index_type,
                 "backend": backend,
+                "slo": self.server.engine.slo.summary(),
             },
         )
 
@@ -256,7 +287,7 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _handle_metrics(self) -> None:
+    def _handle_metrics(self, head: bool = False) -> None:
         text = render(self.server.engine.metric_families())
         encoded = text.encode("utf-8")
         self.send_response(200)
@@ -265,7 +296,47 @@ class LOVORequestHandler(BaseHTTPRequestHandler):
         if self._request_id:
             self.send_header("X-Request-ID", self._request_id)
         self.end_headers()
-        self.wfile.write(encoded)
+        if not head:
+            self.wfile.write(encoded)
+
+    def _handle_metrics_history(self, query: Dict[str, list]) -> None:
+        limit = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][0])
+            except (ValueError, IndexError):
+                raise _BadRequest('"limit" must be an integer') from None
+        prefix = None
+        if "prefix" in query:
+            prefix = str(query["prefix"][0])
+        history = self.server.engine.history
+        points = history.points(limit=limit, prefix=prefix)
+        self._send_json(
+            200,
+            {
+                "interval_seconds": history.interval_seconds,
+                "capacity": history.capacity,
+                "num_points": len(points),
+                "points": points,
+            },
+        )
+
+    def _handle_slo(self) -> None:
+        self._send_json(200, self.server.engine.slo.evaluate())
+
+    def _handle_explain(self, trace_id: str) -> None:
+        report = (
+            self.server.engine.explain_store.get(trace_id) if trace_id else None
+        )
+        if report is None:
+            self._send_error(
+                404,
+                "explain_not_found",
+                f"No retained EXPLAIN report for trace {trace_id!r} "
+                '(was the query served with options.explain=true?)',
+            )
+            return
+        self._send_json(200, report)
 
     def _handle_trace(self, trace_id: str) -> None:
         tracer = self.server.engine.tracer

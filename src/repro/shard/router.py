@@ -193,6 +193,24 @@ class ShardRouter:
                     )
             return [future.result() for future in futures]
 
+    @staticmethod
+    def _result_size(result: object) -> Optional[int]:
+        """Candidate count of one shard call's result, when it is hit-shaped.
+
+        ``search`` answers a list of hits, ``search_batch`` a list of
+        per-query hit lists; anything else (ids, stats dicts) has no
+        candidate count and stays unannotated.
+        """
+        if not isinstance(result, list):
+            return None
+        if not result:
+            return 0
+        if all(isinstance(entry, list) for entry in result):
+            return sum(len(entry) for entry in result)
+        if all(isinstance(entry, SearchHit) for entry in result):
+            return len(result)
+        return None
+
     def _call_with_failover(self, group: ReplicaGroup, fn: Callable[[object], T]) -> T:
         last_error: Optional[BaseException] = None
         shard = str(group.shard_index)
@@ -239,15 +257,28 @@ class ShardRouter:
             SHARD_CALL_SECONDS.observe(
                 end - start, shard=shard, replica=replica.name, outcome="ok"
             )
-            record_span(
-                "shard_search",
-                start,
-                end,
-                shard=group.shard_index,
-                replica=replica.name,
-                outcome="ok",
-                failover=failed_over,
-            )
+            hits = self._result_size(result) if tracing_active() else None
+            if hits is None:
+                record_span(
+                    "shard_search",
+                    start,
+                    end,
+                    shard=group.shard_index,
+                    replica=replica.name,
+                    outcome="ok",
+                    failover=failed_over,
+                )
+            else:
+                record_span(
+                    "shard_search",
+                    start,
+                    end,
+                    shard=group.shard_index,
+                    replica=replica.name,
+                    outcome="ok",
+                    failover=failed_over,
+                    hits=hits,
+                )
             return result
         raise ShardUnavailableError(
             f"Shard {group.shard_index} has no healthy replica left"

@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.config import IndexConfig
 from repro.errors import SnapshotCorruptionError, VectorDatabaseError
+from repro.obs.trace import record_span, tracing_active
 from repro.vectordb.base import IndexHit, VectorIndex
 
 
@@ -75,7 +77,18 @@ class HNSWIndex(VectorIndex):
         if k <= 0 or not self._vectors or self._entry_point is None:
             return []
         vector = self._validate_query(query)
-        return self._search_validated(vector, k)
+        if not tracing_active():
+            return self._search_validated(vector, k)
+        started = time.perf_counter()
+        hits = self._search_validated(vector, k)
+        record_span(
+            "graph_search",
+            started,
+            time.perf_counter(),
+            num_queries=1,
+            ef_search=self._ef_search,
+        )
+        return hits
 
     def search_batch(self, queries: np.ndarray, k: int) -> List[List[IndexHit]]:
         """Answer ``m`` queries with one validation pass and shared graph state.
@@ -89,7 +102,18 @@ class HNSWIndex(VectorIndex):
         batch = self._validate_query_batch(queries)
         if k <= 0 or not self._vectors or self._entry_point is None:
             return [[] for _ in range(batch.shape[0])]
-        return [self._search_validated(row, k) for row in batch]
+        if not tracing_active():
+            return [self._search_validated(row, k) for row in batch]
+        started = time.perf_counter()
+        results = [self._search_validated(row, k) for row in batch]
+        record_span(
+            "graph_search",
+            started,
+            time.perf_counter(),
+            num_queries=batch.shape[0],
+            ef_search=self._ef_search,
+        )
+        return results
 
     def _search_validated(self, vector: np.ndarray, k: int) -> List[IndexHit]:
         """Greedy descent plus layer-0 beam search for one validated query."""

@@ -21,6 +21,7 @@ candidates are then re-scored exactly with the reconstructed vectors (lines
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
@@ -28,6 +29,7 @@ import numpy as np
 
 from repro.config import IndexConfig
 from repro.errors import IndexNotBuiltError, SnapshotCorruptionError, VectorDatabaseError
+from repro.obs.trace import record_span, tracing_active
 from repro.vectordb.base import IndexHit, VectorIndex, exact_scores
 from repro.vectordb.kmeans import lloyd_kmeans
 from repro.vectordb.quantization import ProductQuantizer
@@ -173,14 +175,39 @@ class IVFPQIndex(VectorIndex):
         if self._count == 0:
             return [[] for _ in range(num_queries)]
 
+        # Stage spans (coarse ranking + table build, then the ADC list scans)
+        # fan into any active request traces; when tracing is off the only
+        # cost is one contextvar read.
+        traced = tracing_active()
+        started = time.perf_counter() if traced else 0.0
+
         # Shared across the batch: coarse centroid ranking and ADC tables.
         centroid_scores = batch @ self._coarse_centroids.T
         nprobe = min(self._config.nprobe, centroid_scores.shape[1])
         tables = self._quantizer.inner_product_tables_batch(batch)
-        return [
+        if traced:
+            scanned = time.perf_counter()
+            record_span(
+                "coarse_scan",
+                started,
+                scanned,
+                num_queries=num_queries,
+                nlist=int(centroid_scores.shape[1]),
+                nprobe=nprobe,
+            )
+        results = [
             self._scan_lists(batch[row], centroid_scores[row], tables[row], nprobe, k)
             for row in range(num_queries)
         ]
+        if traced:
+            record_span(
+                "adc_scan",
+                scanned,
+                time.perf_counter(),
+                num_queries=num_queries,
+                nprobe=nprobe,
+            )
+        return results
 
     def _scan_lists(
         self,

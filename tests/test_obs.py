@@ -232,6 +232,54 @@ class TestTraceStore:
         with pytest.raises(ValueError):
             TraceStore(capacity=0)
 
+    def test_slow_log_ordering_under_concurrent_inserts(self):
+        """Concurrent puts keep the slow log consistent and ordered.
+
+        Each thread inserts its traces in sequence; the log must retain the
+        most recent ``slow_capacity`` puts with each thread's inserts still
+        in per-thread order (most recent first), no duplicates, and no
+        torn/partial entries.
+        """
+        num_threads, per_thread, slow_capacity = 4, 32, 48
+        store = TraceStore(
+            capacity=num_threads * per_thread,
+            slow_threshold_ms=0.0,  # everything is "slow"
+            slow_capacity=slow_capacity,
+        )
+        barrier = threading.Barrier(num_threads)
+
+        def insert(thread_index: int) -> None:
+            barrier.wait()
+            for seq in range(per_thread):
+                trace = Trace(trace_id=f"t{thread_index}-{seq:03d}")
+                trace.finish()
+                store.put(trace)
+
+        threads = [
+            threading.Thread(target=insert, args=(i,)) for i in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        slow = store.slow()
+        slow_ids = [trace.trace_id for trace in slow]
+        assert len(slow) == slow_capacity
+        assert len(set(slow_ids)) == len(slow_ids)  # no duplicates
+        # slow() is most-recent-first: within each thread, later sequence
+        # numbers must appear before earlier ones.
+        for thread_index in range(num_threads):
+            prefix = f"t{thread_index}-"
+            sequence = [
+                int(trace_id[len(prefix):])
+                for trace_id in slow_ids
+                if trace_id.startswith(prefix)
+            ]
+            assert sequence == sorted(sequence, reverse=True)
+        # Every retained entry is a fully formed, finished trace.
+        assert all(trace.duration_s is not None for trace in slow)
+
 
 class TestTracer:
     def test_disabled_tracer_creates_nothing(self):
@@ -386,6 +434,43 @@ class TestExposition:
         parsed = parse_exposition(render(registry.collect()))
         sample = parsed["escaped_total"]["samples"][0]
         assert sample["labels"]["text"] == raw
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "back\\slash",
+            "new\nline",
+            'quo"te',
+            "trailing backslash\\",
+            '\\"',  # backslash immediately before a quote
+            "literal \\n is not a newline",
+            'all \\ of "them"\nat once',
+            "",
+        ],
+        ids=[
+            "backslash",
+            "newline",
+            "quote",
+            "trailing-backslash",
+            "backslash-quote",
+            "literal-backslash-n",
+            "combined",
+            "empty",
+        ],
+    )
+    def test_escaped_label_values_round_trip(self, raw):
+        registry = MetricsRegistry()
+        registry.counter("escape_cases_total", "count", ("text",)).inc(text=raw)
+        rendered = render(registry.collect())
+        # Escaping keeps the sample on one exposition line.
+        (sample_line,) = [
+            line for line in rendered.splitlines() if not line.startswith("#")
+        ]
+        assert "\n" not in sample_line
+        parsed = parse_exposition(rendered)
+        sample = parsed["escape_cases_total"]["samples"][0]
+        assert sample["labels"]["text"] == raw
+        assert sample["value"] == 1.0
 
     def test_render_parse_round_trip(self):
         registry = MetricsRegistry()

@@ -174,6 +174,19 @@ class TestStreamingParity:
         finally:
             ingestor.stop()
 
+    def test_stats_report_embedding_drift(self, segments):
+        system = LOVO(stream_config("flat"))
+        ingestor = StreamingIngestor(system).start()
+        try:
+            ingestor.submit(segments[0]).result(timeout=120)
+            drift = ingestor.stats()["drift"]
+            assert drift["signal"] == "embedding_norm"
+            assert drift["observations"] > 0
+            assert drift["last_value"] > 0.0
+            assert drift["alerts"] == 0  # one healthy segment cannot drift
+        finally:
+            ingestor.stop()
+
     def test_reject_backpressure_and_closed_errors(self, segments):
         system = LOVO(
             stream_config("flat", encode_queue_size=1, backpressure="reject")
