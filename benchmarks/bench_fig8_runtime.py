@@ -70,7 +70,7 @@ def test_fig8_runtime(benchmark, bench_env):
     # Shape assertions from the paper: LOVO's search is the fastest on every
     # dataset, FiGO's search is the slowest, and LOVO beats both QD-search
     # systems on total time as well.
-    for dataset_name, per_system in results.items():
+    for per_system in results.values():
         assert per_system["LOVO"]["search"] < per_system["MIRIS"]["search"]
         assert per_system["LOVO"]["search"] < per_system["FiGO"]["search"]
         assert per_system["FiGO"]["search"] > per_system["MIRIS"]["search"]

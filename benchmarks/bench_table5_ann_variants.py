@@ -69,7 +69,7 @@ def test_table5_ann_variants(benchmark, bench_env):
     # Shape assertions from the paper: every variant answers every query with
     # useful accuracy, and the approximate indexes do not catastrophically
     # lose accuracy relative to brute force.
-    for variant_name, per_query in results.items():
+    for per_query in results.values():
         for query_id in query_ids:
             assert per_query[query_id]["avep"] >= 0.0
     mean_bf = sum(results["LOVO(BF)"][q]["avep"] for q in query_ids) / len(query_ids)

@@ -1,0 +1,21 @@
+"""Project-specific concurrency static analysis (the LOVO lint pass).
+
+Run with ``python -m repro.analysis``.  Rules LOVO001–LOVO006 encode the
+threading conventions of this codebase; see :mod:`repro.analysis.rules` for
+the checkers and :data:`repro.analysis.findings.RULES` for the catalogue.
+"""
+
+from .engine import Analyzer, analyze_paths, analyze_source, parse_suppressions
+from .findings import RULES, Finding
+from .report import render_json, render_text
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "RULES",
+    "analyze_paths",
+    "analyze_source",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,58 @@
+"""CLI for the LOVO concurrency lint pass: ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import analyze_paths
+from .report import render_json, render_text
+
+
+def _default_paths() -> List[Path]:
+    import repro
+
+    return [Path(repro.__file__).resolve().parent]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="LOVO concurrency lint pass (stdlib-ast, project rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyse (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in the report",
+    )
+    options = parser.parse_args(argv)
+
+    paths = options.paths or _default_paths()
+    analyzer = analyze_paths(paths)
+
+    if options.format == "json":
+        print(render_json(analyzer, show_suppressed=options.show_suppressed))
+    else:
+        print(render_text(analyzer, show_suppressed=options.show_suppressed))
+
+    if analyzer.errors:
+        return 2
+    return 1 if analyzer.unsuppressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""Analysis engine: file discovery, suppressions, and the LOVO002 finaliser.
+
+Suppression syntax (parsed from comments via :mod:`tokenize`)::
+
+    x = time.time()  # lovo: ignore[LOVO004] wall-clock timestamp for export
+    # lovo: ignore[LOVO003] poll loop releases within 50ms
+    queue.get(timeout=poll)
+    def insert(self, ...):  # lovo: ignore[LOVO005] corpus growth is the product
+
+A suppression applies to findings on its own line, on the immediately
+following line (comment-above style), or — when the comment sits on a
+``def``/``class`` header line — to every finding inside that definition.
+``# lovo: ignore`` without a bracket suppresses all codes at that location;
+text after the bracket is recorded as the justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .rules import ModuleChecker
+
+_SUPPRESSION_RE = re.compile(
+    r"lovo:\s*ignore(?:\[(?P<codes>[A-Za-z0-9,\s]+)\])?\s*(?P<why>.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    line: int
+    codes: Optional[Set[str]]  # None → all codes
+    justification: str
+
+    def matches(self, code: str) -> bool:
+        return self.codes is None or code in self.codes
+
+
+@dataclass
+class _FileInfo:
+    path: str
+    suppressions: List[Suppression] = field(default_factory=list)
+    #: def/class header line → (first line, last line) of the definition
+    def_ranges: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    def apply(self, finding: Finding) -> None:
+        for suppression in self.suppressions:
+            if not suppression.matches(finding.code):
+                continue
+            if suppression.line in (finding.line, finding.line - 1):
+                finding.suppressed = True
+                finding.justification = suppression.justification or None
+                return
+            span = self.def_ranges.get(suppression.line)
+            if span and span[0] <= finding.line <= span[1]:
+                finding.suppressed = True
+                finding.justification = suppression.justification or None
+                return
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if not match:
+                continue
+            codes: Optional[Set[str]] = None
+            if match.group("codes"):
+                codes = {
+                    chunk.strip().upper()
+                    for chunk in match.group("codes").split(",")
+                    if chunk.strip()
+                }
+            suppressions.append(
+                Suppression(
+                    line=token.start[0],
+                    codes=codes,
+                    justification=match.group("why").strip(),
+                )
+            )
+    except tokenize.TokenError:
+        pass
+    return suppressions
+
+
+def _collect_def_ranges(tree: ast.Module) -> Dict[int, Tuple[int, int]]:
+    ranges: Dict[int, Tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            end = getattr(node, "end_lineno", node.lineno)
+            ranges[node.lineno] = (node.lineno, end)
+    return ranges
+
+
+class Analyzer:
+    """Accumulates per-file findings plus the global static lock-order graph."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.checked_files = 0
+        self.errors: List[str] = []
+        self._file_infos: Dict[str, _FileInfo] = {}
+        #: holder lock name → {acquired lock name → [(path, line, col), ...]}
+        self._edges: Dict[str, Dict[str, List[Tuple[str, int, int]]]] = {}
+
+    # ------------------------------------------------------------------ input
+
+    def add_source(self, source: str, path: str = "<string>") -> None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            self.errors.append(f"{path}: {error}")
+            return
+        self.checked_files += 1
+        info = _FileInfo(
+            path=path,
+            suppressions=parse_suppressions(source),
+            def_ranges=_collect_def_ranges(tree),
+        )
+        self._file_infos[path] = info
+        checker = ModuleChecker(tree, path).run()
+        for finding in checker.findings:
+            info.apply(finding)
+            self.findings.append(finding)
+        for (holder, acquired), sites in checker.lock_edges.items():
+            self._edges.setdefault(holder, {}).setdefault(acquired, []).extend(sites)
+
+    def add_file(self, path: Path) -> None:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            self.errors.append(f"{path}: {error}")
+            return
+        self.add_source(source, str(path))
+
+    # --------------------------------------------------------------- finalise
+
+    def finalize(self) -> List[Finding]:
+        """Run the cross-file LOVO002 cycle check and return sorted findings."""
+        for holder, successors in sorted(self._edges.items()):
+            for acquired, sites in sorted(successors.items()):
+                back_path = self._find_path(acquired, holder)
+                if back_path is None:
+                    continue
+                cycle = " -> ".join([holder, acquired, *back_path[1:]])
+                return_sites = self._edges.get(acquired, {}).get(back_path[1], [])
+                elsewhere = (
+                    f"{return_sites[0][0]}:{return_sites[0][1]}"
+                    if return_sites
+                    else "<unknown>"
+                )
+                for site_path, line, col in sites:
+                    finding = Finding(
+                        code="LOVO002",
+                        message=(
+                            f"acquiring '{acquired}' while holding '{holder}' closes "
+                            f"the lock-order cycle {cycle}; the opposite order is "
+                            f"taken at {elsewhere}, so two threads can deadlock"
+                        ),
+                        path=site_path,
+                        line=line,
+                        col=col,
+                    )
+                    info = self._file_infos.get(site_path)
+                    if info is not None:
+                        info.apply(finding)
+                    self.findings.append(finding)
+        self.findings.sort(key=Finding.sort_key)
+        return self.findings
+
+    def _find_path(self, start: str, goal: str) -> Optional[List[str]]:
+        seen = {start}
+        frontier: List[Tuple[str, List[str]]] = [(start, [start])]
+        while frontier:
+            node, path = frontier.pop()
+            for successor in self._edges.get(node, {}):
+                if successor == goal:
+                    return path + [successor]
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append((successor, path + [successor]))
+        return None
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Analyse one module given as a source string (test/fixture entry point)."""
+    analyzer = Analyzer()
+    analyzer.add_source(source, path)
+    return analyzer.finalize()
+
+
+def analyze_paths(paths: Sequence[Path]) -> Analyzer:
+    analyzer = Analyzer()
+    for file_path in iter_python_files(paths):
+        analyzer.add_file(file_path)
+    analyzer.finalize()
+    return analyzer
+
+
+__all__ = [
+    "Analyzer",
+    "Suppression",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "parse_suppressions",
+]

@@ -1,0 +1,57 @@
+"""The finding record shared by the rule checkers and reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    suppressed: bool = False
+    justification: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "suppressed": self.suppressed,
+        }
+        if self.justification:
+            payload["justification"] = self.justification
+        return payload
+
+
+RULES: Dict[str, str] = {
+    "LOVO001": (
+        "attribute mutated from a thread/executor-submitted callable without "
+        "holding the lock that guards it elsewhere"
+    ),
+    "LOVO002": (
+        "lock acquired while another lock is held in an order that inverts an "
+        "order seen elsewhere (potential ABBA deadlock)"
+    ),
+    "LOVO003": "blocking call inside a `with <lock>:` body",
+    "LOVO004": "time.time() used where perf_counter is the duration convention",
+    "LOVO005": "container field grows in steady-state paths with no eviction or maxlen",
+    "LOVO006": "bare/overbroad except swallows KeyboardInterrupt/SystemExit-like control flow",
+}
+
+__all__ = ["Finding", "RULES"]

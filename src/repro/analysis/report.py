@@ -1,0 +1,51 @@
+"""Text and JSON reporters for the LOVO analysis pass."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .engine import Analyzer
+from .findings import RULES, Finding
+
+
+def render_text(analyzer: Analyzer, show_suppressed: bool = False) -> str:
+    lines: List[str] = []
+    for finding in analyzer.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        marker = " (suppressed)" if finding.suppressed else ""
+        lines.append(f"{finding.location}: {finding.code}{marker} {finding.message}")
+        if finding.suppressed and finding.justification:
+            lines.append(f"    justification: {finding.justification}")
+    unsuppressed = len(analyzer.unsuppressed)
+    suppressed = len(analyzer.suppressed)
+    lines.append(
+        f"checked {analyzer.checked_files} file(s): "
+        f"{unsuppressed} finding(s), {suppressed} suppressed"
+    )
+    for error in analyzer.errors:
+        lines.append(f"error: {error}")
+    return "\n".join(lines)
+
+
+def render_json(analyzer: Analyzer, show_suppressed: bool = False) -> str:
+    findings = [
+        finding.to_dict()
+        for finding in analyzer.findings
+        if show_suppressed or not finding.suppressed
+    ]
+    payload = {
+        "rules": RULES,
+        "checked_files": analyzer.checked_files,
+        "findings": findings,
+        "counts": {
+            "unsuppressed": len(analyzer.unsuppressed),
+            "suppressed": len(analyzer.suppressed),
+        },
+        "errors": analyzer.errors,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+__all__ = ["render_json", "render_text", "Finding"]

@@ -1,0 +1,522 @@
+"""AST rule checkers for the LOVO concurrency lint pass.
+
+Each :class:`ModuleChecker` analyses one parsed module and produces
+:class:`~repro.analysis.findings.Finding` records plus the module's
+contribution to the cross-file static lock-order graph (consumed by the
+engine's LOVO002 finaliser).
+
+The checks are deliberately heuristic — they key off the conventions this
+codebase actually uses (``self._lock`` attributes built from ``threading`` or
+:mod:`repro.utils.locking` factories, ``with self._lock:`` critical sections,
+``threading.Thread(target=self._worker)`` / ``executor.submit(...)`` thread
+entry points) so that a firing is worth a human look rather than noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+
+# Constructors whose result is treated as a lock field when assigned to
+# ``self.<attr>`` (suffix match on the callable, so ``threading.Lock`` and a
+# bare ``Lock`` both register).
+_LOCK_CTOR_NAMES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "OrderedLock",
+    "OrderedRLock",
+    "create_lock",
+    "create_rlock",
+    "create_condition",
+}
+
+_GROWTH_METHODS = {"append", "appendleft", "add", "extend", "insert", "setdefault"}
+_SHRINK_METHODS = {"pop", "popitem", "popleft", "remove", "clear", "discard"}
+_MUTATING_METHODS = _GROWTH_METHODS | _SHRINK_METHODS | {"update"}
+_CONTAINER_CTORS = {"list", "dict", "set", "OrderedDict", "Counter", "defaultdict", "deque"}
+_SOCKET_BLOCKING_ATTRS = {"recv", "recv_into", "accept", "connect", "sendall", "makefile"}
+_JOIN_RECEIVER_HINTS = ("thread", "worker", "proc")
+_FUTURE_RECEIVER_HINTS = ("future", "fut")
+
+
+def _callable_name(func: ast.expr) -> str:
+    """Last dotted component of a call target (``threading.Lock`` → ``Lock``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call) and _callable_name(node.func) in _LOCK_CTOR_NAMES:
+        return True
+    return False
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``X`` when *node* is ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_empty_container(node: ast.expr) -> Optional[bool]:
+    """True if *node* builds an unbounded empty container, False if it is a
+    bounded one (``deque(maxlen=...)``), None if it is not a container at all.
+    """
+    if isinstance(node, (ast.List, ast.Tuple)) and not node.elts:
+        return True
+    if isinstance(node, ast.Dict) and not node.keys:
+        return True
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.Call):
+        name = _callable_name(node.func)
+        if name not in _CONTAINER_CTORS:
+            return None
+        if name == "deque":
+            has_maxlen = any(kw.arg == "maxlen" for kw in node.keywords) or len(node.args) >= 2
+            return not has_maxlen
+        if name == "defaultdict":
+            return True
+        return not node.args and not node.keywords
+    return None
+
+
+@dataclass
+class _Held:
+    attr: str
+    receiver: str
+    line: int
+
+
+@dataclass
+class _Mutation:
+    attr: str
+    line: int
+    col: int
+    held_attrs: frozenset
+    method: str
+
+
+@dataclass
+class _ClassFacts:
+    name: str
+    lock_fields: Set[str] = field(default_factory=set)
+    thread_targets: Set[str] = field(default_factory=set)
+    has_threads: bool = False
+    mutations: List[_Mutation] = field(default_factory=list)
+    container_fields: Dict[str, int] = field(default_factory=dict)
+    growth_sites: Dict[str, List[Tuple[int, int, str]]] = field(default_factory=dict)
+    bounded_fields: Set[str] = field(default_factory=set)
+
+
+class ModuleChecker:
+    """Run every LOVO rule against one module's AST."""
+
+    def __init__(self, tree: ast.Module, path: str) -> None:
+        self._tree = tree
+        self._path = path
+        self.findings: List[Finding] = []
+        #: (holder name, acquired name) -> acquisition sites, fed to the
+        #: engine's global LOVO002 graph.
+        self.lock_edges: Dict[Tuple[str, str], List[Tuple[str, int, int]]] = {}
+        self._time_imported_bare = False
+        self._sleep_imported_bare = False
+
+    # ----------------------------------------------------------------- driver
+
+    def run(self) -> "ModuleChecker":
+        self._scan_imports()
+        self._check_time_calls()
+        self._check_except_handlers()
+        for node in ast.walk(self._tree):
+            if isinstance(node, ast.ClassDef):
+                self._check_class(node)
+        return self
+
+    def _emit(self, code: str, message: str, node: ast.AST) -> None:
+        self.findings.append(
+            Finding(
+                code=code,
+                message=message,
+                path=self._path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+    # ---------------------------------------------------------------- imports
+
+    def _scan_imports(self) -> None:
+        for node in ast.walk(self._tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time" and alias.asname is None:
+                        self._time_imported_bare = True
+                    if alias.name == "sleep" and alias.asname is None:
+                        self._sleep_imported_bare = True
+
+    # ----------------------------------------------------- LOVO004: time.time
+
+    def _check_time_calls(self) -> None:
+        for node in ast.walk(self._tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_time_time = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            )
+            is_bare_time = (
+                isinstance(func, ast.Name) and func.id == "time" and self._time_imported_bare
+            )
+            if is_time_time or is_bare_time:
+                self._emit(
+                    "LOVO004",
+                    "time.time() measures wall-clock and can step backwards; this "
+                    "codebase measures durations with time.perf_counter() — use it, "
+                    "or suppress if wall-clock time is genuinely required",
+                    node,
+                )
+
+    # --------------------------------------------- LOVO006: overbroad excepts
+
+    def _check_except_handlers(self) -> None:
+        for node in ast.walk(self._tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_overbroad(node.type):
+                continue
+            if self._reraises(node):
+                continue
+            kind = "bare 'except:'" if node.type is None else "'except BaseException'"
+            self._emit(
+                "LOVO006",
+                f"{kind} swallows KeyboardInterrupt/SystemExit and cancellation-style "
+                "control flow; re-raise non-Exception errors (bare 'raise') or catch "
+                "'Exception' instead",
+                node,
+            )
+
+    @staticmethod
+    def _is_overbroad(type_node: Optional[ast.expr]) -> bool:
+        if type_node is None:
+            return True
+        candidates: Iterable[ast.expr]
+        if isinstance(type_node, ast.Tuple):
+            candidates = type_node.elts
+        else:
+            candidates = [type_node]
+        return any(_callable_name(candidate) == "BaseException" for candidate in candidates)
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                if node.exc is None:
+                    return True
+                if (
+                    handler.name
+                    and isinstance(node.exc, ast.Name)
+                    and node.exc.id == handler.name
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------ class rules
+
+    def _check_class(self, cls: ast.ClassDef) -> None:
+        facts = _ClassFacts(name=cls.name)
+        self._collect_lock_fields(cls, facts)
+        methods = [
+            node
+            for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for method in methods:
+            self._scan_method(cls, method, facts)
+        self._emit_unguarded_mutations(facts)
+        self._emit_unbounded_growth(facts)
+
+    def _collect_lock_fields(self, cls: ast.ClassDef, facts: _ClassFacts) -> None:
+        # ``self._lock = threading.Lock()`` style, anywhere in the class.
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                if value is not None and _is_lock_ctor(value):
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr:
+                            facts.lock_fields.add(attr)
+        # Dataclass style: ``_lock: threading.Lock = field(default_factory=...)``.
+        for node in cls.body:
+            if (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and isinstance(node.value, ast.Call)
+                and _callable_name(node.value.func) == "field"
+            ):
+                for kw in node.value.keywords:
+                    if kw.arg == "default_factory":
+                        factory_src = ast.unparse(kw.value)
+                        if any(name in factory_src for name in _LOCK_CTOR_NAMES):
+                            facts.lock_fields.add(node.target.id)
+
+    # ------------------------------------------------------- per-method scan
+
+    def _scan_method(
+        self, cls: ast.ClassDef, method: ast.FunctionDef, facts: _ClassFacts
+    ) -> None:
+        method_name = method.name
+        in_init = method_name == "__init__"
+
+        def record_mutation(attr: str, node: ast.AST, held: Sequence[_Held]) -> None:
+            facts.mutations.append(
+                _Mutation(
+                    attr=attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    held_attrs=frozenset(h.attr for h in held),
+                    method=method_name,
+                )
+            )
+
+        def record_growth(attr: str, node: ast.AST) -> None:
+            if not in_init:
+                facts.growth_sites.setdefault(attr, []).append(
+                    (node.lineno, node.col_offset, method_name)
+                )
+
+        def visit(node: ast.AST, held: List[_Held]) -> None:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                return  # nested scopes execute on their own schedule
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired: List[_Held] = []
+                for item in node.items:
+                    ctx = item.context_expr
+                    visit(ctx, held)
+                    attr = _self_attr(ctx)
+                    if attr is not None and attr in facts.lock_fields:
+                        entry = _Held(attr=attr, receiver=ast.unparse(ctx), line=ctx.lineno)
+                        for outer in held:
+                            if outer.attr != attr:
+                                self._record_edge(facts.name, outer.attr, attr, ctx)
+                        acquired.append(entry)
+                        held = held + [entry]
+                for child in node.body:
+                    visit(child, held)
+                return
+            if isinstance(node, ast.Call):
+                self._note_thread_target(node, facts)
+                if held:
+                    self._check_blocking_call(node, held)
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        record_mutation(attr, node, held)
+                        if in_init and node.value is not None:
+                            bounded = _is_empty_container(node.value)
+                            if bounded is True and attr not in facts.lock_fields:
+                                facts.container_fields.setdefault(attr, node.lineno)
+                            elif bounded is False:
+                                facts.bounded_fields.add(attr)
+                        elif not in_init and node.value is not None:
+                            if _is_empty_container(node.value) is not None:
+                                # steady-state reset: the field is emptied, so
+                                # growth elsewhere is bounded by this path
+                                facts.bounded_fields.add(attr)
+                    elif isinstance(target, ast.Subscript):
+                        base_attr = _self_attr(target.value)
+                        if base_attr is not None:
+                            record_mutation(base_attr, node, held)
+                            record_growth(base_attr, node)
+            if isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        base_attr = _self_attr(target.value)
+                        if base_attr is not None:
+                            facts.bounded_fields.add(base_attr)
+                            record_mutation(base_attr, node, held)
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                base_attr = _self_attr(node.func.value)
+                if base_attr is not None:
+                    if node.func.attr in _MUTATING_METHODS:
+                        record_mutation(base_attr, node, held)
+                    if node.func.attr in _GROWTH_METHODS:
+                        record_growth(base_attr, node)
+                    if node.func.attr in _SHRINK_METHODS:
+                        facts.bounded_fields.add(base_attr)
+            if isinstance(node, ast.Call) and _callable_name(node.func) == "len":
+                if node.args:
+                    length_attr = _self_attr(node.args[0])
+                    if length_attr is not None:
+                        # ``len(self.X)`` in steady-state code is taken as
+                        # evidence the field's size is watched/bounded
+                        if not in_init:
+                            facts.bounded_fields.add(length_attr)
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for statement in method.body:
+            visit(statement, [])
+
+    # ----------------------------------------------------- LOVO002 edge graph
+
+    def _record_edge(self, cls_name: str, holder: str, acquired: str, node: ast.AST) -> None:
+        key = (f"{cls_name}.{holder}", f"{cls_name}.{acquired}")
+        self.lock_edges.setdefault(key, []).append(
+            (self._path, node.lineno, node.col_offset)
+        )
+
+    # ------------------------------------------------- thread entry detection
+
+    def _note_thread_target(self, call: ast.Call, facts: _ClassFacts) -> None:
+        name = _callable_name(call.func)
+        if name == "Thread" or name.endswith("Thread"):
+            facts.has_threads = True
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    attr = _self_attr(kw.value)
+                    if attr:
+                        facts.thread_targets.add(attr)
+        elif isinstance(call.func, ast.Attribute) and call.func.attr == "submit":
+            facts.has_threads = True
+            if call.args:
+                attr = _self_attr(call.args[0])
+                if attr:
+                    facts.thread_targets.add(attr)
+
+    # -------------------------------------------------- LOVO003: blocking ops
+
+    def _check_blocking_call(self, call: ast.Call, held: List[_Held]) -> None:
+        reason = self._blocking_reason(call, {h.receiver for h in held})
+        if reason is None:
+            return
+        innermost = held[-1]
+        self._emit(
+            "LOVO003",
+            f"{reason} while holding 'with {innermost.receiver}:' (line "
+            f"{innermost.line}); blocking inside a critical section stalls every "
+            "other thread contending for the lock",
+            call,
+        )
+
+    def _blocking_reason(self, call: ast.Call, held_receivers: Set[str]) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            receiver = ast.unparse(func.value)
+            low = receiver.lower()
+            attr = func.attr
+            if attr in {"wait", "wait_for"}:
+                if receiver in held_receivers:
+                    return None  # Condition.wait on the held lock releases it
+                return f"'{receiver}.{attr}()' blocks"
+            if attr in {"get", "put"} and ("queue" in low or low.endswith("_q")):
+                return f"queue operation '{receiver}.{attr}()' can block"
+            if attr == "join" and any(hint in low for hint in _JOIN_RECEIVER_HINTS):
+                return f"'{receiver}.join()' blocks until the thread exits"
+            if attr in _SOCKET_BLOCKING_ATTRS:
+                return f"socket operation '{receiver}.{attr}()' blocks on I/O"
+            if attr == "result" and any(hint in low for hint in _FUTURE_RECEIVER_HINTS):
+                return f"'{receiver}.result()' blocks until the future resolves"
+            if attr == "urlopen":
+                return "HTTP request blocks on network I/O"
+            if receiver == "time" and attr == "sleep":
+                return "'time.sleep()' blocks"
+            if receiver == "subprocess" and attr in {
+                "run",
+                "call",
+                "check_call",
+                "check_output",
+            }:
+                return f"'subprocess.{attr}()' blocks on the child process"
+            if attr == "communicate":
+                return f"'{receiver}.communicate()' blocks on the child process"
+        elif isinstance(func, ast.Name):
+            if func.id == "sleep" and self._sleep_imported_bare:
+                return "'sleep()' blocks"
+            if func.id == "urlopen":
+                return "HTTP request blocks on network I/O"
+        return None
+
+    # ---------------------------------------------- LOVO001: unguarded writes
+
+    def _emit_unguarded_mutations(self, facts: _ClassFacts) -> None:
+        guarded: Dict[str, Set[str]] = {}
+        for mutation in facts.mutations:
+            if mutation.held_attrs:
+                guarded.setdefault(mutation.attr, set()).update(mutation.held_attrs)
+        seen: Set[Tuple[str, int]] = set()
+        for mutation in facts.mutations:
+            if mutation.held_attrs:
+                continue
+            if mutation.method == "__init__" or mutation.method.endswith("_locked"):
+                continue
+            if mutation.method not in facts.thread_targets:
+                continue
+            locks = guarded.get(mutation.attr)
+            if not locks:
+                continue
+            key = (mutation.attr, mutation.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            lock_list = ", ".join(f"self.{name}" for name in sorted(locks))
+            self.findings.append(
+                Finding(
+                    code="LOVO001",
+                    message=(
+                        f"'{facts.name}.{mutation.method}' runs on a worker thread and "
+                        f"mutates 'self.{mutation.attr}' without holding {lock_list}, "
+                        "which guards it elsewhere in the class"
+                    ),
+                    path=self._path,
+                    line=mutation.line,
+                    col=mutation.col,
+                )
+            )
+
+    # --------------------------------------------- LOVO005: unbounded growth
+
+    def _emit_unbounded_growth(self, facts: _ClassFacts) -> None:
+        if not facts.lock_fields and not facts.has_threads:
+            return  # only concurrent/service classes are in scope
+        for attr, sites in sorted(facts.growth_sites.items()):
+            if attr not in facts.container_fields:
+                continue
+            if attr in facts.bounded_fields:
+                continue
+            line, col, method = min(sites)
+            self.findings.append(
+                Finding(
+                    code="LOVO005",
+                    message=(
+                        f"'{facts.name}.{attr}' grows in '{method}' with no eviction, "
+                        "maxlen, or len() bound anywhere in the class; long-running "
+                        "services leak memory through fields like this"
+                    ),
+                    path=self._path,
+                    line=line,
+                    col=col,
+                )
+            )
+
+
+__all__ = ["ModuleChecker"]

@@ -14,7 +14,6 @@ API:
 
 from __future__ import annotations
 
-import threading
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -38,6 +37,7 @@ from repro.persist.manifest import SnapshotManifest
 from repro.persist.snapshot import load_system, save_system
 from repro.utils.timing import PhaseTimer
 from repro.video.model import Frame, VideoDataset
+from repro.utils.locking import create_lock
 
 
 class LOVO:
@@ -76,7 +76,7 @@ class LOVO:
         self._tracer = Tracer(self._config.obs)
         self._summary: Optional[SummaryOutput] = None
         self._datasets: List[str] = []
-        self._ingest_lock = threading.Lock()
+        self._ingest_lock = create_lock("LOVO._ingest_lock")
         self._data_version = 0
 
     @property
@@ -192,7 +192,7 @@ class LOVO:
         with self._ingest_lock:
             return self._apply_summary_locked(dataset_name, summary)
 
-    def _apply_summary_locked(self, dataset_name: str, summary: SummaryOutput) -> SummaryOutput:
+    def _apply_summary_locked(self, dataset_name: str, summary: SummaryOutput) -> SummaryOutput:  # lovo: ignore[LOVO005] the frame registry IS the corpus; bounded by ingested data
         if self._storage is None:
             self._storage = LOVOStorage(
                 dim=self._config.encoder.class_embedding_dim,

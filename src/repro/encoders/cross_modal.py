@@ -23,7 +23,6 @@ ablation.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +37,7 @@ from repro.utils.geometry import (
     box_next_to,
     boxes_side_by_side,
 )
+from repro.utils.locking import create_lock
 
 
 @dataclass(frozen=True)
@@ -124,7 +124,7 @@ class CrossModalityReranker:
         # seed, so laziness cannot change any score; the lock only stops
         # concurrent serving workers from each paying the build cost.
         self._layers: tuple[List[CrossModalLayer], List[CrossModalLayer]] | None = None
-        self._build_lock = threading.Lock()
+        self._build_lock = create_lock("CrossModalReranker._build_lock")
 
     def _build_layers(self) -> tuple[List["CrossModalLayer"], List["CrossModalLayer"]]:
         if self._layers is None:

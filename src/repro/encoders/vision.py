@@ -135,7 +135,7 @@ class VisionEncoder:
         boxes = self._box_head.predict(frame.frame_id, anchors, [o.box for o in objects], overlaps)
 
         encodings: List[PatchEncoding] = []
-        for patch_index, anchor in enumerate(anchors):
+        for patch_index, _anchor in enumerate(anchors):
             mixture = self._config.background_weight * background
             if objects:
                 weights = overlaps[patch_index]

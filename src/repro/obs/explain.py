@@ -20,7 +20,7 @@ the HTTP payload carries them inline.
 
 from __future__ import annotations
 
-import threading
+from repro.utils.locking import create_lock
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
@@ -154,7 +154,7 @@ class ExplainStore:
             raise ValueError("ExplainStore capacity must be positive")
         self._capacity = capacity
         self._reports: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = create_lock("ExplainStore._lock")
 
     def put(self, trace_id: str, report: Dict[str, object]) -> None:
         """Retain one report (evicting the oldest beyond capacity)."""

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequenc
 
 from repro.config import ObsConfig
 from repro.obs.registry import MetricsRegistry, REGISTRY
+from repro.utils.locking import create_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.system import LOVO
@@ -68,7 +69,7 @@ class DriftMonitor:
         self._threshold = threshold
         self._baseline_size = max(int(baseline), 2)
         self._window_size = max(int(window), 1)
-        self._lock = threading.Lock()
+        self._lock = create_lock("DriftMonitor._lock")
         self._count = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -200,7 +201,7 @@ class ShadowSampler:
         self._rate = self._config.shadow_sample_rate
         self._recall_k = self._config.shadow_recall_k
         self._queue: "queue.Queue[object]" = queue.Queue(self._config.shadow_queue_size)
-        self._lock = threading.Lock()
+        self._lock = create_lock("ShadowSampler._lock")
         self._accumulator = 0.0
         self._windows: Dict[Tuple[str, str], _RecallWindow] = {}
         self._offered = 0
@@ -423,6 +424,7 @@ class ShadowSampler:
             key = (family, labels["sharded"])
             window = self._windows.get(key)
             if window is None:
+                # lovo: ignore[LOVO005] keyed by (family, sharded) — at most a handful of windows
                 window = self._windows[key] = _RecallWindow(self._config.shadow_window)
             window.add(recall, margin, displacement)
             window_recall, window_margin, window_displacement = window.means()

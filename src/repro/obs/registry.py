@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 import re
-import threading
+from repro.utils.locking import create_lock
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -95,7 +95,7 @@ class _Instrument:
         self.name = name
         self.help = help
         self.label_names: Tuple[str, ...] = tuple(label_names)
-        self._lock = threading.Lock()
+        self._lock = create_lock("_Instrument._lock")
 
     def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
         if set(labels) != set(self.label_names):
@@ -280,7 +280,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = create_lock("MetricsRegistry._lock")
         self._instruments: Dict[str, _Instrument] = {}
         self._collectors: List[Callable[[], Iterable[MetricFamily]]] = []
 
@@ -307,6 +307,7 @@ class MetricsRegistry:
                     )
                 return existing
             instrument = cls(name, help, label_names, **kwargs)
+            # lovo: ignore[LOVO005] cardinality is the set of metric names defined in code
             self._instruments[name] = instrument
             return instrument
 

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 from repro.obs.registry import MetricFamily
+from repro.utils.locking import create_lock
 
 
 def flatten_families(families: Iterable[MetricFamily]) -> Dict[str, float]:
@@ -60,7 +61,7 @@ class MetricsHistory:
         self._capacity = capacity
         self._points: Deque[Dict[str, object]] = deque(maxlen=capacity)
         self._listeners: List[Callable[[Dict[str, object]], None]] = []
-        self._lock = threading.Lock()
+        self._lock = create_lock("MetricsHistory._lock")
         self._wake = threading.Event()
         self._ticks = 0
         self._started = False
@@ -82,6 +83,7 @@ class MetricsHistory:
     def add_listener(self, listener: Callable[[Dict[str, object]], None]) -> None:
         """Run ``listener(point)`` after every tick (errors are swallowed)."""
         with self._lock:
+            # lovo: ignore[LOVO005] listeners are registered once at wiring time, not per request
             self._listeners.append(listener)
 
     def start(self) -> "MetricsHistory":
@@ -112,6 +114,7 @@ class MetricsHistory:
     def tick(self, now: float | None = None) -> Dict[str, object]:
         """Take one snapshot now (the ticker's body; callable from tests)."""
         point: Dict[str, object] = {
+            # lovo: ignore[LOVO004] history points carry wall-clock timestamps for display
             "t": now if now is not None else time.time(),
             "values": flatten_families(self._collect()),
         }

@@ -26,7 +26,6 @@ so spans recorded by different threads stay mutually comparable.
 
 from __future__ import annotations
 
-import threading
 import time
 import uuid
 from collections import OrderedDict
@@ -36,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.config import ObsConfig
+from repro.utils.locking import create_lock
 
 
 @dataclass
@@ -74,14 +74,14 @@ class Trace:
         self.attributes: Dict[str, object] = {}
         self.dropped_spans = 0
         self.duration_s: Optional[float] = None
-        self._started_wall = time.time()
+        self._started_wall = time.time()  # lovo: ignore[LOVO004] wall-clock display timestamp, not a duration
         self._t0 = time.perf_counter()
         self._max_spans = max_spans
         self._spans: List[Span] = []
         self._by_id: Dict[int, Span] = {}
         self._next_id = 1
         self._finished = False
-        self._lock = threading.Lock()
+        self._lock = create_lock("Trace._lock")
 
     @property
     def t0(self) -> float:
@@ -120,6 +120,7 @@ class Trace:
             )
             self._next_id += 1
             self._spans.append(span)
+            # lovo: ignore[LOVO005] grows in lockstep with _spans, which is capped by max_spans
             self._by_id[span.span_id] = span
             return span.span_id
 
@@ -341,7 +342,7 @@ class TraceStore:
         self._slow_capacity = slow_capacity
         self._traces: "OrderedDict[str, Trace]" = OrderedDict()
         self._slow: "OrderedDict[str, Trace]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = create_lock("TraceStore._lock")
 
     @property
     def slow_threshold_ms(self) -> float:

@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.core.query import QueryOptions
 from repro.errors import ServiceOverloadedError, ServingError
 from repro.obs.trace import Trace
+from repro.utils.locking import create_lock
 
 
 @dataclass
@@ -81,7 +82,7 @@ class MicroBatcher:
         # Makes the closed-check + enqueue in submit() atomic with close():
         # once close() returns, no further submission can slip into the queue,
         # so a post-shutdown drain is guaranteed to see every admitted query.
-        self._submit_lock = threading.Lock()
+        self._submit_lock = create_lock("MicroBatcher._submit_lock")
 
     @property
     def max_batch_size(self) -> int:

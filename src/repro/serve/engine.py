@@ -47,6 +47,7 @@ from repro.obs.trace import Tracer, activate
 from repro.serve.batcher import MicroBatcher, PendingQuery
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import ServiceMetrics
+from repro.utils.locking import create_lock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.stream.ingestor import StreamingIngestor
@@ -104,7 +105,7 @@ class ServingEngine:
                 on_sample=self._slo.record_recall,
             )
         self._workers: List[threading.Thread] = []
-        self._lifecycle_lock = threading.Lock()
+        self._lifecycle_lock = create_lock("ServingEngine._lifecycle_lock")
         self._running = False
         self._stopped = False
         self._streaming: "Optional[StreamingIngestor]" = None
@@ -204,14 +205,17 @@ class ServingEngine:
         and stops it, and the HTTP frontend's subscription endpoints route to
         its :class:`~repro.stream.subscriptions.SubscriptionManager`.
         """
-        if self._streaming is not None:
-            return self._streaming
-        if ingestor is None:
-            from repro.stream.ingestor import StreamingIngestor
+        # Guarded by the lifecycle lock: two concurrent attachers must agree
+        # on one ingestor, not each start (and leak) their own.
+        with self._lifecycle_lock:
+            if self._streaming is not None:
+                return self._streaming
+            if ingestor is None:
+                from repro.stream.ingestor import StreamingIngestor
 
-            ingestor = StreamingIngestor(self._system)
-        self._streaming = ingestor.start()
-        return self._streaming
+                ingestor = StreamingIngestor(self._system)
+            self._streaming = ingestor.start()
+            return self._streaming
 
     @property
     def running(self) -> bool:
@@ -269,23 +273,28 @@ class ServingEngine:
             if not drain:
                 for pending in self._batcher.drain():
                     pending.future.cancel()
-            for worker in self._workers:
-                worker.join(timeout=timeout)
-            # A submit() racing this shutdown may have enqueued after a worker
-            # observed an (at that instant) empty queue and exited; close()
-            # guarantees nothing lands after it returned, so one final sweep
-            # here leaves no admitted request stranded with an unresolved
-            # future.
-            leftover = self._batcher.drain()
-            if leftover:
-                if drain:
-                    self._process_batch(leftover)
-                else:
-                    for pending in leftover:
-                        pending.future.cancel()
+            workers = list(self._workers)
             self._workers.clear()
             self._running = False
             self._stopped = True
+        # Joining under the lifecycle lock would hold it across worker
+        # drain time (seconds, worst case), stalling every start()/stop()
+        # caller; state is already flipped above, so the joins and the final
+        # sweep run lock-free.
+        for worker in workers:
+            worker.join(timeout=timeout)
+        # A submit() racing this shutdown may have enqueued after a worker
+        # observed an (at that instant) empty queue and exited; close()
+        # guarantees nothing lands after it returned, so one final sweep
+        # here leaves no admitted request stranded with an unresolved
+        # future.
+        leftover = self._batcher.drain()
+        if leftover:
+            if drain:
+                self._process_batch(leftover)
+            else:
+                for pending in leftover:
+                    pending.future.cancel()
 
     def __enter__(self) -> "ServingEngine":
         return self.start()
@@ -539,6 +548,10 @@ class ServingEngine:
                     outcome="error",
                 )
                 pending.future.set_exception(error)
+            if not isinstance(error, Exception):
+                # KeyboardInterrupt/SystemExit must still unwind the worker
+                # after the callers have been told why their futures failed.
+                raise
             return
         now = time.perf_counter()
         query_config = self._system.config.query

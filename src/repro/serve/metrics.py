@@ -12,7 +12,6 @@ snapshotable as a plain JSON-serialisable dict for the ``/stats`` endpoint.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import Counter, deque
 from typing import Callable, Deque, Dict, Optional
@@ -21,6 +20,7 @@ from typing import Callable, Deque, Dict, Optional
 # and the observability histograms must agree on rank selection.  Re-exported
 # here because this was its historical import location.
 from repro.obs.registry import percentile
+from repro.utils.locking import create_lock
 
 __all__ = ["ServiceMetrics", "percentile"]
 
@@ -36,7 +36,7 @@ class ServiceMetrics:
         if latency_window <= 0:
             raise ValueError("latency_window must be positive")
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = create_lock("ServiceMetrics._lock")
         self._started_at = clock()
         self._requests = 0
         self._completed = 0
@@ -71,6 +71,7 @@ class ServiceMetrics:
     def record_batch(self, batch_size: int) -> None:
         """Record the size of one executed micro-batch."""
         with self._lock:
+            # lovo: ignore[LOVO005] keys are batch sizes, bounded by max_batch_size
             self._batch_sizes[int(batch_size)] += 1
 
     @property

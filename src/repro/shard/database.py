@@ -29,7 +29,6 @@ Bit-exact parity with the unsharded path is the design invariant:
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
 from pathlib import Path
@@ -58,6 +57,7 @@ from repro.vectordb.base import as_query_matrix
 from repro.vectordb.collection import SearchHit, VectorCollection
 from repro.vectordb.database import VectorDatabase
 from repro.vectordb.ivfpq import IVFPQIndex
+from repro.utils.locking import create_rlock
 
 #: Keys of the IVF-PQ state arrays that describe inverted-list *membership*
 #: (split per shard); everything else (centroids, codebooks) is shared.
@@ -93,7 +93,7 @@ class ShardedCollection:
         # Serialises writers (streaming appends) and the one-time global
         # IVF-PQ train against each other; searches stay lock-free except
         # for the brief flush check.
-        self._write_lock = threading.RLock()
+        self._write_lock = create_rlock("ShardedCollection._write_lock")
 
     @property
     def name(self) -> str:

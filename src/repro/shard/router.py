@@ -17,7 +17,6 @@ and poison the health state.
 from __future__ import annotations
 
 import contextvars
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
@@ -34,6 +33,7 @@ from repro.errors import (
 from repro.obs.registry import REGISTRY
 from repro.obs.trace import record_span, span as obs_span, tracing_active
 from repro.vectordb.collection import SearchHit
+from repro.utils.locking import create_lock
 
 T = TypeVar("T")
 
@@ -89,7 +89,7 @@ class ReplicaGroup:
         self.shard_index = shard_index
         self._replicas: List[Replica] = []
         self._cursor = 0
-        self._lock = threading.Lock()
+        self._lock = create_lock("ReplicaGroup._lock")
 
     def add(self, backend: object) -> Replica:
         """Register one more replica backend; returns its handle."""

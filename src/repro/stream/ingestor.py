@@ -40,6 +40,7 @@ from repro.core.summary import SummaryOutput
 from repro.errors import StreamBackpressureError, StreamClosedError, StreamError
 from repro.obs.quality import DriftMonitor
 from repro.obs.registry import REGISTRY, MetricsRegistry
+from repro.utils.locking import create_condition, create_lock
 from repro.utils.timing import PhaseTimer
 from repro.video.model import VideoDataset
 
@@ -103,7 +104,11 @@ class _DutyCyclePacer:
 
     def __init__(self, duty: float) -> None:
         self._duty = duty
-        self._lock = threading.Lock()
+        self._lock = create_lock("_DutyCyclePacer._lock")
+        # The permit is a semaphore in lock's clothing: taken in throttle()
+        # and released in charge(), i.e. held across the unit of work by
+        # design.  It stays an untracked primitive — lockdep would (rightly,
+        # for a mutex) flag the long hold and cross-method release.
         self._permit = threading.Lock()
         self._busy = 0.0
         self._origin: Optional[float] = None
@@ -170,7 +175,7 @@ class StreamingIngestor:
         self._index_queue: "queue.Queue[object]" = queue.Queue(
             self._config.index_queue_size
         )
-        self._state = threading.Condition()
+        self._state = create_condition("StreamingIngestor._state")
         self._sequence = 0
         self._submitted = 0
         self._completed = 0
@@ -381,6 +386,12 @@ class StreamingIngestor:
                 if self._pacer is not None:
                     self._pacer.charge(time.perf_counter() - encode_start)
                 self._finish(ticket, None, error)
+                if not isinstance(error, Exception):
+                    # Resolve the ticket, then let KeyboardInterrupt/SystemExit
+                    # kill the stage; swallowing them would leave a zombie
+                    # pipeline that looks healthy but ignores interrupts.
+                    self._index_queue.put(_STOP)
+                    raise
                 continue
             if self._pacer is not None:
                 self._pacer.charge(encode_end - encode_start)
@@ -432,6 +443,10 @@ class StreamingIngestor:
                     self._pacer.charge(time.perf_counter() - work_start)
                 self._system.tracer.finish(trace, status="error", error=str(error))
                 self._finish(ticket, None, error)
+                if not isinstance(error, Exception):
+                    # Same contract as the encode stage: tickets resolve, but
+                    # interpreter-shutdown control flow still unwinds.
+                    raise
                 continue
             done = time.perf_counter()
             if self._pacer is not None:

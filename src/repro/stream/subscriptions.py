@@ -19,7 +19,6 @@ frontend maps this to ``GET /v1/subscriptions/<id>/events``).
 from __future__ import annotations
 
 import itertools
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -35,6 +34,7 @@ from repro.errors import (
     SubscriptionNotFoundError,
 )
 from repro.obs.registry import REGISTRY, MetricsRegistry
+from repro.utils.locking import create_condition
 
 
 @dataclass(frozen=True)
@@ -123,7 +123,7 @@ class SubscriptionManager:
         self._encode = encode
         self._config = config or StreamConfig()
         self._subscriptions: Dict[str, Subscription] = {}
-        self._condition = threading.Condition()
+        self._condition = create_condition("SubscriptionManager._condition")
         self._id_counter = itertools.count(1)
         registry = registry or REGISTRY
         self._matches_counter = registry.counter(

@@ -79,7 +79,7 @@ class ByteTracker:
         rescued_tracks, _remaining_low = self._associate(frame_id, unmatched, low)
         matched_tracks.update(rescued_tracks)
 
-        for track, kalman, _predicted in predictions:
+        for track, _kalman, _predicted in predictions:
             if track.track_id not in matched_tracks:
                 track.misses += 1
 

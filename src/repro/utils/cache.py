@@ -15,9 +15,10 @@ re-entrant lock, which subclasses (e.g. the TTL cache in
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, Optional, TypeVar
+
+from repro.utils.locking import create_rlock
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -38,7 +39,7 @@ class LRUCache(Generic[K, V]):
             raise ValueError("LRUCache maxsize must be positive")
         self._maxsize = maxsize
         self._entries: "OrderedDict[K, V]" = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = create_rlock("LRUCache._lock")
         self.hits = 0
         self.misses = 0
 

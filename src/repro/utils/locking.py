@@ -1,0 +1,371 @@
+"""Lockdep-style runtime lock-order sanitizer.
+
+Production-grade threaded Python needs machine-checked locking invariants,
+not reviewer vigilance.  This module provides the runtime half of that
+correctness layer (the static half is :mod:`repro.analysis`):
+
+* :func:`create_lock` / :func:`create_rlock` / :func:`create_condition` are
+  drop-in factories for ``threading.Lock`` / ``RLock`` / ``Condition``.  In
+  normal operation they return the plain stdlib primitive — zero overhead.
+  When lockdep is enabled (``REPRO_LOCKDEP=1`` in the environment, or
+  :func:`instrument_locks` programmatically) they return :class:`OrderedLock`
+  / :class:`OrderedRLock` wrappers that feed a **global lock-order graph**.
+* Every lock carries a *name* — its lock class, e.g. ``"LRUCache._lock"``.
+  Like the kernel's lockdep, ordering is tracked per lock class, not per
+  instance: when a thread acquires lock ``B`` while holding lock ``A``, the
+  edge ``A → B`` is recorded (with the acquiring stack frame).  An acquisition
+  that would close a cycle in the graph raises :class:`LockOrderViolation`
+  **before blocking on the lock**, so a latent ABBA deadlock surfaces as a
+  deterministic exception with both acquisition sites instead of a hung
+  process.
+* Each fully released lock is checked against a hold-time budget
+  (``REPRO_LOCKDEP_BUDGET_MS``, default 1000 ms); overruns are recorded in
+  ``lockdep.hold_violations`` and emitted as :class:`LockHeldTooLong`
+  warnings — a lock held that long over this codebase's critical sections is
+  almost certainly covering a blocking call.
+
+Conventions baked into the checker:
+
+* Re-entrant acquisition of the *same instance* (``RLock``) records no edge.
+* Acquiring another **instance of the same lock class** records no edge
+  either (the analogue of lockdep's nesting annotations); genuinely layered
+  same-class locks should be given distinct names.
+* Acquiring a non-reentrant :class:`OrderedLock` the thread already holds
+  raises immediately (it would self-deadlock).
+* ``Condition.wait`` fully releases the tracked lock, so the wait itself
+  never holds an edge open.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+
+class LockOrderViolation(RuntimeError):
+    """An acquisition would create a cycle in the global lock-order graph."""
+
+
+class LockHeldTooLong(UserWarning):
+    """A lock was held longer than the configured lockdep budget."""
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_LOCKDEP", "").strip() in {"1", "true", "yes", "on"}
+
+
+def _env_budget_seconds() -> float:
+    raw = os.environ.get("REPRO_LOCKDEP_BUDGET_MS", "").strip()
+    if not raw:
+        return 1.0
+    try:
+        return max(float(raw), 0.0) / 1000.0
+    except ValueError:
+        return 1.0
+
+
+def _call_site(skip: int = 3) -> str:
+    """``file:line in func`` of the frame that acquired the lock."""
+    stack = traceback.extract_stack()
+    # Walk outward past this module's own frames.
+    for frame in reversed(stack[:-skip + 1] if skip else stack):
+        if not frame.filename.endswith("locking.py"):
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+class _Held:
+    """One entry of a thread's held-lock stack."""
+
+    __slots__ = ("lock", "name", "acquired_at", "site", "depth")
+
+    def __init__(self, lock: object, name: str, site: str) -> None:
+        self.lock = lock
+        self.name = name
+        self.acquired_at = time.perf_counter()
+        self.site = site
+        self.depth = 1
+
+
+class LockDep:
+    """Global lockdep state: the order graph, held stacks, and violations."""
+
+    def __init__(self) -> None:
+        self._graph_lock = threading.Lock()
+        # name -> {successor name -> first-seen acquisition site}
+        self._edges: Dict[str, Dict[str, str]] = {}
+        self._tls = threading.local()
+        self.hold_violations: List[Dict[str, object]] = []
+        self.budget_seconds = _env_budget_seconds()
+
+    # ------------------------------------------------------------- inspection
+
+    def edges(self) -> Dict[str, Dict[str, str]]:
+        """A copy of the observed lock-order graph (name → successors)."""
+        with self._graph_lock:
+            return {name: dict(successors) for name, successors in self._edges.items()}
+
+    def held_names(self) -> List[str]:
+        """Names of the locks the calling thread currently holds."""
+        return [record.name for record in self._held_stack()]
+
+    def reset(self) -> None:
+        """Drop the order graph and violation log (test isolation)."""
+        with self._graph_lock:
+            self._edges.clear()
+            self.hold_violations.clear()
+
+    # ------------------------------------------------------------- bookkeeping
+
+    def _held_stack(self) -> List[_Held]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _find(self, lock: object) -> Optional[_Held]:
+        for record in self._held_stack():
+            if record.lock is lock:
+                return record
+        return None
+
+    def _reaches(self, start: str, goal: str) -> Optional[List[str]]:
+        """A path ``start → … → goal`` in the edge graph, if one exists."""
+        seen = {start}
+        frontier: List[Tuple[str, List[str]]] = [(start, [start])]
+        while frontier:
+            node, path = frontier.pop()
+            for successor in self._edges.get(node, ()):
+                if successor == goal:
+                    return path + [successor]
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append((successor, path + [successor]))
+        return None
+
+    def before_acquire(self, lock: object, name: str, reentrant: bool) -> Optional[_Held]:
+        """Order-check an acquisition; called *before* blocking on the lock.
+
+        Returns the existing held record for a re-entrant re-acquisition
+        (``None`` for a first acquisition).  Raises
+        :class:`LockOrderViolation` when the thread already holds a
+        non-reentrant lock it is re-acquiring, or when the new ``held → name``
+        edge would close a cycle in the global graph.
+        """
+        existing = self._find(lock)
+        if existing is not None:
+            if not reentrant:
+                raise LockOrderViolation(
+                    f"Self-deadlock: thread {threading.current_thread().name!r} "
+                    f"re-acquired non-reentrant lock {name!r} it already holds "
+                    f"(first acquired at {existing.site})"
+                )
+            return existing
+        site = _call_site()
+        held = [record for record in self._held_stack() if record.name != name]
+        if held:
+            with self._graph_lock:
+                for record in held:
+                    successors = self._edges.setdefault(record.name, {})
+                    if name in successors:
+                        continue
+                    cycle = self._reaches(name, record.name)
+                    if cycle is not None:
+                        order = " -> ".join(cycle + [name])
+                        known = self._edges.get(cycle[0], {}).get(cycle[1], "<unknown>")
+                        raise LockOrderViolation(
+                            f"Lock-order inversion: acquiring {name!r} while holding "
+                            f"{record.name!r} (held since {record.site}) inverts the "
+                            f"established order {order} (first seen at {known}); "
+                            f"this is a potential ABBA deadlock"
+                        )
+                    successors[name] = site
+        return None
+
+    def after_acquire(self, lock: object, name: str) -> None:
+        """Push the newly acquired lock onto the thread's held stack."""
+        self._held_stack().append(_Held(lock, name, _call_site()))
+
+    def on_release(self, lock: object, name: str) -> None:
+        """Pop (or decrement) the held record; budget-check full releases."""
+        stack = self._held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            record = stack[index]
+            if record.lock is lock:
+                record.depth -= 1
+                if record.depth == 0:
+                    del stack[index]
+                    self._check_budget(record)
+                return
+
+    def _check_budget(self, record: _Held) -> None:
+        if self.budget_seconds <= 0:
+            return
+        held_for = time.perf_counter() - record.acquired_at
+        if held_for <= self.budget_seconds:
+            return
+        violation = {
+            "name": record.name,
+            "held_seconds": held_for,
+            "budget_seconds": self.budget_seconds,
+            "site": record.site,
+            "thread": threading.current_thread().name,
+        }
+        self.hold_violations.append(violation)
+        warnings.warn(
+            f"Lock {record.name!r} held for {held_for * 1000.0:.1f} ms "
+            f"(budget {self.budget_seconds * 1000.0:.1f} ms), acquired at "
+            f"{record.site}",
+            LockHeldTooLong,
+            stacklevel=3,
+        )
+
+    # ----------------------------------------------------- condition support
+
+    def suspend(self, lock: object) -> Optional[_Held]:
+        """Remove a held record wholesale (``Condition.wait`` releasing)."""
+        stack = self._held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index].lock is lock:
+                record = stack[index]
+                del stack[index]
+                self._check_budget(record)
+                return record
+        return None
+
+    def resume(self, record: Optional[_Held]) -> None:
+        """Re-install a suspended record after ``Condition.wait`` re-acquires."""
+        if record is None:
+            return
+        record.acquired_at = time.perf_counter()
+        self._held_stack().append(record)
+
+
+#: The process-global lockdep state shared by every tracked lock.
+lockdep = LockDep()
+
+
+class OrderedLock:
+    """A named, lockdep-tracked, non-reentrant mutual-exclusion lock."""
+
+    _REENTRANT = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inner = self._make_inner()
+
+    @staticmethod
+    def _make_inner():
+        return threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        reentry = lockdep.before_acquire(self, self.name, self._REENTRANT)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            if reentry is not None:
+                reentry.depth += 1
+            else:
+                lockdep.after_acquire(self, self.name)
+        return acquired
+
+    def release(self) -> None:
+        lockdep.on_release(self, self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Whether any thread currently holds the lock."""
+        return self._inner.locked()
+
+    def __enter__(self) -> "OrderedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class OrderedRLock(OrderedLock):
+    """A named, lockdep-tracked re-entrant lock, usable under ``Condition``."""
+
+    _REENTRANT = True
+
+    @staticmethod
+    def _make_inner():
+        return threading.RLock()
+
+    # ``threading.Condition`` drives its lock through this private protocol
+    # when available; delegating keeps wait/notify semantics exact while the
+    # held-stack is suspended for the duration of the wait.
+    def _release_save(self):
+        record = lockdep.suspend(self)
+        return (self._inner._release_save(), record)
+
+    def _acquire_restore(self, state) -> None:
+        inner_state, record = state
+        self._inner._acquire_restore(inner_state)
+        lockdep.resume(record)
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+
+_FORCED: Optional[bool] = None
+
+
+def instrument_locks(enabled: Optional[bool] = True) -> bool:
+    """Force lockdep on/off for locks created afterwards; ``None`` restores
+    the ``REPRO_LOCKDEP`` environment default.  Returns the effective state.
+    """
+    global _FORCED
+    _FORCED = enabled
+    return lockdep_enabled()
+
+
+def lockdep_enabled() -> bool:
+    """Whether the lock factories currently produce tracked locks."""
+    if _FORCED is not None:
+        return _FORCED
+    return _env_enabled()
+
+
+def create_lock(name: str) -> "threading.Lock | OrderedLock":
+    """A mutex for the given lock class; tracked under lockdep."""
+    if lockdep_enabled():
+        return OrderedLock(name)
+    return threading.Lock()
+
+
+def create_rlock(name: str) -> "threading.RLock | OrderedRLock":
+    """A re-entrant lock for the given lock class; tracked under lockdep."""
+    if lockdep_enabled():
+        return OrderedRLock(name)
+    return threading.RLock()
+
+
+def create_condition(name: str) -> threading.Condition:
+    """A condition variable whose underlying lock is tracked under lockdep."""
+    if lockdep_enabled():
+        return threading.Condition(OrderedRLock(name))
+    return threading.Condition()
+
+
+__all__ = [
+    "LockDep",
+    "LockHeldTooLong",
+    "LockOrderViolation",
+    "OrderedLock",
+    "OrderedRLock",
+    "create_condition",
+    "create_lock",
+    "create_rlock",
+    "instrument_locks",
+    "lockdep",
+    "lockdep_enabled",
+]

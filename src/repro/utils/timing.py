@@ -15,6 +15,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from repro.utils.locking import create_lock
+
 
 @dataclass
 class Stopwatch:
@@ -71,7 +73,7 @@ class PhaseTimer:
     totals: Dict[str, float] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+        default_factory=lambda: create_lock("PhaseTimer._lock"), repr=False, compare=False
     )
 
     @contextmanager

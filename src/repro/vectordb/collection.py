@@ -8,7 +8,6 @@ and carries an optional metadata dict per entity for convenience.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Type
@@ -22,6 +21,7 @@ from repro.vectordb.base import IndexHit, VectorIndex, as_query_matrix, exact_sc
 from repro.vectordb.flat import FlatIndex
 from repro.vectordb.hnsw import HNSWIndex
 from repro.vectordb.ivfpq import IVFPQIndex
+from repro.utils.locking import create_rlock
 
 
 @dataclass(frozen=True)
@@ -82,7 +82,7 @@ class VectorCollection:
         self._metadata: List[Mapping[str, object]] = []
         self._vectors: List[np.ndarray] = []
         self._built = False
-        self._insert_lock = threading.RLock()
+        self._insert_lock = create_rlock("VectorCollection._insert_lock")
 
     @property
     def name(self) -> str:
@@ -109,7 +109,7 @@ class VectorCollection:
         """Number of stored vectors."""
         return len(self._internal_to_external)
 
-    def insert(
+    def insert(  # lovo: ignore[LOVO005] the id maps/metadata/vectors ARE the stored corpus
         self,
         ids: Sequence[str],
         vectors: np.ndarray,
@@ -153,10 +153,15 @@ class VectorCollection:
 
     def flush(self) -> None:
         """Build (train) the underlying index; called automatically on search."""
-        if self.num_entities == 0:
-            return
-        self._index.build()
-        self._built = True
+        # Serialised against insert (and against other flushes): two racing
+        # first-searches must not both run an IVFPQ training pass, and
+        # ``_built`` must not be set back to True over an insert that just
+        # cleared it.  The RLock keeps flush-under-insert re-entrant.
+        with self._insert_lock:
+            if self.num_entities == 0 or self._built:
+                return
+            self._index.build()
+            self._built = True
 
     def search(self, query: np.ndarray, k: int) -> List[SearchHit]:
         """ANN search returning external ids, scores, and metadata."""

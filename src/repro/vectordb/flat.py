@@ -16,13 +16,13 @@ streamed ingest produces exactly the results of an offline build.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SnapshotCorruptionError, VectorDatabaseError
 from repro.vectordb.base import IndexHit, VectorIndex, exact_scores
+from repro.utils.locking import create_lock
 
 #: Tail chunks are folded into one sealed block once they reach this many rows.
 SEGMENT_SEAL_ROWS = 4096
@@ -38,7 +38,7 @@ class FlatIndex(VectorIndex):
     def __init__(self, dim: int, *, seal_rows: int = SEGMENT_SEAL_ROWS) -> None:
         super().__init__(dim)
         self._seal_rows = max(1, int(seal_rows))
-        self._write_lock = threading.Lock()
+        self._write_lock = create_lock("FlatIndex._write_lock")
         self._sealed: List[np.ndarray] = []
         self._tail: List[np.ndarray] = []
         self._view: _FlatView = ((), np.zeros(0, dtype=np.int64))
@@ -64,6 +64,7 @@ class FlatIndex(VectorIndex):
         with self._write_lock:
             self._tail.append(data)
             if sum(chunk.shape[0] for chunk in self._tail) >= self._seal_rows:
+                # lovo: ignore[LOVO005] sealed chunks ARE the stored corpus; deleting them loses data
                 self._sealed.append(
                     self._tail[0] if len(self._tail) == 1 else np.vstack(self._tail)
                 )

@@ -17,7 +17,6 @@ brute force.
 from __future__ import annotations
 
 import heapq
-import threading
 import time
 from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
@@ -27,6 +26,7 @@ from repro.config import IndexConfig
 from repro.errors import SnapshotCorruptionError, VectorDatabaseError
 from repro.obs.trace import record_span, tracing_active
 from repro.vectordb.base import IndexHit, VectorIndex
+from repro.utils.locking import create_lock
 
 
 class HNSWIndex(VectorIndex):
@@ -40,7 +40,7 @@ class HNSWIndex(VectorIndex):
         self._ef_search = self._config.hnsw_ef_search
         self._seed = seed
         self._rng = np.random.default_rng(seed)
-        self._write_lock = threading.Lock()
+        self._write_lock = create_lock("HNSWIndex._write_lock")
         self._level_multiplier = 1.0 / np.log(max(self._m, 2))
         self._vectors: List[np.ndarray] = []
         self._external_ids: List[int] = []
@@ -224,7 +224,7 @@ class HNSWIndex(VectorIndex):
         degrees = [len(neighbours) for neighbours in self._layers[0].values()]
         return {"mean": float(np.mean(degrees)), "max": float(np.max(degrees))}
 
-    def _insert(self, external_id: int, vector: np.ndarray) -> None:
+    def _insert(self, external_id: int, vector: np.ndarray) -> None:  # lovo: ignore[LOVO005] graph nodes ARE the stored corpus
         node = len(self._vectors)
         self._vectors.append(vector)
         self._external_ids.append(external_id)

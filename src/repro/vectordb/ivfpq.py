@@ -20,7 +20,6 @@ candidates are then re-scored exactly with the reconstructed vectors (lines
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
@@ -33,6 +32,7 @@ from repro.obs.trace import record_span, tracing_active
 from repro.vectordb.base import IndexHit, VectorIndex, exact_scores
 from repro.vectordb.kmeans import lloyd_kmeans
 from repro.vectordb.quantization import ProductQuantizer
+from repro.utils.locking import create_lock
 
 
 @dataclass
@@ -85,7 +85,7 @@ class IVFPQIndex(VectorIndex):
                 f"Dimension {dim} is not divisible by num_subspaces "
                 f"{self._config.num_subspaces}"
             )
-        self._insert_lock = threading.Lock()
+        self._insert_lock = create_lock("IVFPQIndex._insert_lock")
         self._pending_ids: List[int] = []
         self._pending_vectors: List[np.ndarray] = []
         self._coarse_centroids: np.ndarray | None = None

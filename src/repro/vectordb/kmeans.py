@@ -66,7 +66,8 @@ def lloyd_kmeans(
     previous_inertia = np.inf
     iterations = 0
 
-    for iterations in range(1, max_iterations + 1):
+    while iterations < max_iterations:
+        iterations += 1
         distances = _squared_distances(data, centroids)
         assignments = distances.argmin(axis=1)
         inertia = float(distances[np.arange(num_points), assignments].sum())

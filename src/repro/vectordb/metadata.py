@@ -11,7 +11,6 @@ bounding box, and frame → all of its patch detections.
 from __future__ import annotations
 
 import sqlite3
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -21,6 +20,7 @@ import numpy as np
 from repro.errors import MetadataError, SnapshotCorruptionError
 from repro.utils.geometry import BoundingBox
 from repro.utils.serialization import load_arrays, save_arrays
+from repro.utils.locking import create_rlock
 
 
 @dataclass(frozen=True)
@@ -62,7 +62,7 @@ class MetadataStore:
         # the lock serialises every statement on it (sqlite3 connections are
         # not safe for genuinely concurrent use even with the check off).
         self._connection = sqlite3.connect(self._path, check_same_thread=False)
-        self._lock = threading.RLock()
+        self._lock = create_rlock("MetadataStore._lock")
         self._connection.execute("PRAGMA journal_mode = MEMORY")
         self._create_tables()
 

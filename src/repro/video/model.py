@@ -127,8 +127,7 @@ class Video:
 
     def frame_pairs(self) -> Iterator[Tuple[Frame, Frame]]:
         """Iterate over consecutive ``(previous, current)`` frame pairs."""
-        for previous, current in zip(self.frames, self.frames[1:]):
-            yield previous, current
+        yield from zip(self.frames, self.frames[1:])
 
 
 @dataclass

@@ -163,7 +163,7 @@ class TestExactScoresDeterminism:
         matrix = rng.normal(size=(700, 24))
         queries = rng.normal(size=(11, 24))
         full = exact_scores(matrix, queries)
-        for trial in range(10):
+        for _trial in range(10):
             rows = np.sort(
                 rng.choice(700, size=int(rng.integers(1, 700)), replace=False)
             )

@@ -39,6 +39,7 @@ from repro.errors import (
     StreamError,
     SubscriptionNotFoundError,
     SystemNotReadyError,
+    VectorDatabaseError,
 )
 from repro.persist import DeltaSnapshotStore
 from repro.serve import ServingEngine
@@ -165,7 +166,7 @@ class TestStreamingParity:
             ticket = ingestor.submit(segments[0])
             assert ticket.result(timeout=120) is not None
             duplicate = ingestor.submit(segments[0])  # same ids → indexing fails
-            with pytest.raises(Exception):
+            with pytest.raises(VectorDatabaseError):
                 duplicate.result(timeout=120)
             assert ingestor.stats()["failed"] == 1
             # The pipeline survives a failed segment.
